@@ -1,0 +1,67 @@
+"""Figure 12: online memory usage per estimator and dataset.
+
+The paper's finding (§3.6): MC < LP+ < ProbTree < BFS Sharing < RHH ~= RSS.
+Two measurements are reported: the estimator's structural working set (as
+in the study) and a tracemalloc peak of one live query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import display_name
+from repro.experiments.memory import format_bytes, traced_peak_bytes
+from repro.experiments.report import format_table
+from repro.experiments.runner import build_estimator
+
+from benchmarks._shared import (
+    BENCH_DATASETS,
+    emit,
+    get_study,
+    paper_note,
+)
+
+
+@pytest.mark.parametrize("dataset_key", BENCH_DATASETS)
+def test_fig12_memory_usage(benchmark, dataset_key):
+    study = get_study(dataset_key)
+    rows = []
+    structural = {}
+    for key in study.config.estimators:
+        point = study.results[key].convergence_point
+        structural[key] = point.memory_bytes
+
+        estimator = build_estimator(study.config, key, study.dataset.graph)
+        estimator.prepare()
+        source, target = study.workload.pairs[0]
+        samples = point.samples
+        _, peak = traced_peak_bytes(
+            lambda: estimator.estimate(
+                source, target, samples, rng=np.random.default_rng(0)
+            )
+        )
+        rows.append(
+            [
+                display_name(key),
+                format_bytes(structural[key]),
+                format_bytes(peak),
+            ]
+        )
+
+    benchmark.pedantic(
+        lambda: traced_peak_bytes(lambda: np.zeros(1000)), rounds=3, iterations=1
+    )
+
+    emit(
+        format_table(
+            f"Figure 12 ({dataset_key}): online memory usage at convergence",
+            ["Estimator", "Working set", "tracemalloc peak (1 query)"],
+            rows,
+        )
+        + "\n"
+        + paper_note("order: MC < LP+ < ProbTree < BFSSharing < RHH ~ RSS (§3.6)."),
+        filename="fig12_memory.txt",
+    )
+
+    # Shape assertions on the structural ordering the paper reports.
+    assert structural["mc"] <= structural["lp_plus"]
+    assert structural["mc"] < structural["bfs_sharing"]

@@ -1,0 +1,99 @@
+"""Figure 13(a-c): offline index costs for BFS Sharing vs ProbTree.
+
+Three panels: index building time, index size, index loading time.  Shapes
+to verify (paper §3.7): BFS Sharing builds faster (plain re-sampling) but
+its index is larger (linear in K) and loads slower; ProbTree's index is
+K-independent and smaller.
+"""
+
+import time
+
+import pytest
+
+from repro.core.estimators.bfs_sharing import BFSSharingIndex
+from repro.core.estimators.prob_tree import FWDProbTreeIndex
+from repro.experiments.memory import format_bytes
+from repro.experiments.report import format_table
+
+from benchmarks._shared import (
+    BENCH_DATASETS,
+    BENCH_K_MAX,
+    BENCH_SCALE,
+    BENCH_SEED,
+    emit,
+    paper_note,
+)
+from repro.datasets.suite import load_dataset
+
+
+def _timed(operation):
+    started = time.perf_counter()
+    result = operation()
+    return result, time.perf_counter() - started
+
+
+def test_fig13_index_costs(benchmark, tmp_path):
+    rows = []
+    sizes = {}
+    for dataset_key in BENCH_DATASETS:
+        dataset = load_dataset(dataset_key, BENCH_SCALE, BENCH_SEED)
+        graph = dataset.graph
+
+        bfs_index, bfs_build = _timed(
+            lambda: BFSSharingIndex(graph, capacity=BENCH_K_MAX, rng=BENCH_SEED)
+        )
+        bfs_path = tmp_path / f"{dataset_key}_bfs.npz"
+        bfs_index.save(bfs_path)
+        _, bfs_load = _timed(lambda: BFSSharingIndex.load(bfs_path, graph))
+
+        pt_index, pt_build = _timed(lambda: FWDProbTreeIndex(graph))
+        pt_path = tmp_path / f"{dataset_key}_pt.pkl"
+        pt_index.save(pt_path)
+        _, pt_load = _timed(lambda: FWDProbTreeIndex.load(pt_path, graph))
+
+        sizes[dataset_key] = (bfs_index.size_bytes(), pt_index.size_bytes())
+        rows.append(
+            [
+                dataset.title,
+                f"{bfs_build:.3f}",
+                f"{pt_build:.3f}",
+                format_bytes(bfs_index.size_bytes()),
+                format_bytes(pt_index.size_bytes()),
+                f"{bfs_load:.3f}",
+                f"{pt_load:.3f}",
+            ]
+        )
+
+    graph = load_dataset(BENCH_DATASETS[0], BENCH_SCALE, BENCH_SEED).graph
+    benchmark.pedantic(
+        lambda: BFSSharingIndex(graph, capacity=256, rng=0), rounds=3, iterations=1
+    )
+
+    emit(
+        format_table(
+            f"Figure 13: offline index costs (K={BENCH_K_MAX}, scale={BENCH_SCALE})",
+            [
+                "Dataset",
+                "build BFSSh (s)",
+                "build ProbTree (s)",
+                "size BFSSh",
+                "size ProbTree",
+                "load BFSSh (s)",
+                "load ProbTree (s)",
+            ],
+            rows,
+        )
+        + "\n"
+        + paper_note(
+            "BFS Sharing: faster build, larger K-linear index, slower load; "
+            "ProbTree: K-independent index, comparable to graph size (§3.7)."
+        ),
+        filename="fig13_index_costs.txt",
+    )
+
+    # Shape assertion: the BFS Sharing index outweighs ProbTree's on every
+    # dataset once K reaches the paper's working sizes (it stores K bits
+    # per edge, vs ProbTree's K-independent structure).
+    if BENCH_K_MAX >= 1_000:
+        for dataset_key, (bfs_size, pt_size) in sizes.items():
+            assert bfs_size > pt_size, (dataset_key, bfs_size, pt_size)

@@ -1,0 +1,90 @@
+"""Figure 17: sensitivity of RSS to the stratum count r.
+
+Sweeps r at two sample sizes.  Shapes to verify (§3.10): variance decreases
+with r, more visibly at the smaller (pre-convergence) K; running time is
+not very sensitive to r.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import create_estimator
+from repro.datasets.queries import generate_workload
+from repro.datasets.suite import load_dataset
+from repro.experiments.convergence import evaluate_at_k
+from repro.experiments.report import format_series
+
+from benchmarks._shared import (
+    BENCH_DATASETS,
+    BENCH_SCALE,
+    BENCH_SEED,
+    emit,
+    paper_note,
+)
+
+DATASET = "biomine"
+STRATUM_COUNTS = (5, 10, 20, 50, 80, 100)
+SAMPLE_SIZES = (500, 1_000)
+PAIRS = 3
+REPEATS = 5
+
+
+def test_fig17_stratum_sensitivity(benchmark):
+    if DATASET not in BENCH_DATASETS:
+        pytest.skip(f"{DATASET} excluded via REPRO_BENCH_DATASETS")
+    dataset = load_dataset(DATASET, BENCH_SCALE, BENCH_SEED)
+    workload = generate_workload(
+        dataset.graph, pair_count=PAIRS, hop_distance=2, seed=BENCH_SEED
+    )
+
+    variance_curves = {}
+    time_curves = {}
+    for samples in SAMPLE_SIZES:
+        variance_curves[f"RSS K={samples}"] = []
+        time_curves[f"RSS K={samples}"] = []
+        for r in STRATUM_COUNTS:
+            estimator = create_estimator(
+                "rss", dataset.graph, stratum_edges=r, seed=BENCH_SEED
+            )
+            point = evaluate_at_k(estimator, workload, samples, REPEATS, BENCH_SEED)
+            variance_curves[f"RSS K={samples}"].append(point.average_variance * 1e4)
+            time_curves[f"RSS K={samples}"].append(point.seconds_per_query)
+
+    benchmark.pedantic(
+        lambda: create_estimator(
+            "rss", dataset.graph, stratum_edges=50, seed=0
+        ).estimate(*workload.pairs[0], 250, rng=np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+
+    emit(
+        format_series(
+            f"Figure 17(a): RSS variance (x1e-4) vs #stratum r, {DATASET}",
+            "r",
+            list(STRATUM_COUNTS),
+            variance_curves,
+            value_format="{:.3f}",
+        ),
+        filename="fig17_stratum.txt",
+    )
+    emit(
+        format_series(
+            "Figure 17(b): RSS running time (s/query) vs #stratum r",
+            "r",
+            list(STRATUM_COUNTS),
+            time_curves,
+            value_format="{:.4f}",
+        )
+        + "\n"
+        + paper_note(
+            "variance decreases with r (strongest before convergence, "
+            "~25% at r=50 for K=500); time is insensitive to r (§3.10)."
+        ),
+        filename="fig17_stratum.txt",
+    )
+
+    # Shape assertion: at the smaller K, large r does not increase variance
+    # relative to the smallest r (trend is downward, allowing noise).
+    small_k = variance_curves[f"RSS K={SAMPLE_SIZES[0]}"]
+    assert small_k[-1] <= small_k[0] * 1.4, small_k

@@ -1,0 +1,67 @@
+"""Table 15: BFS Sharing's per-query index-update (re-sampling) cost.
+
+Between successive queries, BFS Sharing must re-sample its pre-computed
+worlds to keep answers independent; the paper charges this to the method as
+an additional per-query cost over 1000 successive queries.  We measure the
+refresh directly (it is exactly the per-query extra work).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.estimators.bfs_sharing import BFSSharingIndex
+from repro.datasets.suite import load_dataset
+from repro.experiments.report import format_table
+
+from benchmarks._shared import (
+    BENCH_DATASETS,
+    BENCH_K_MAX,
+    BENCH_SCALE,
+    BENCH_SEED,
+    emit,
+    paper_note,
+)
+
+REFRESHES = 10
+
+
+def test_table15_index_update_cost(benchmark):
+    rows = []
+    per_dataset = {}
+    for dataset_key in BENCH_DATASETS:
+        dataset = load_dataset(dataset_key, BENCH_SCALE, BENCH_SEED)
+        index = BFSSharingIndex(dataset.graph, capacity=BENCH_K_MAX, rng=BENCH_SEED)
+        rng = np.random.default_rng(BENCH_SEED)
+        started = time.perf_counter()
+        for _ in range(REFRESHES):
+            index.refresh(rng)
+        per_query = (time.perf_counter() - started) / REFRESHES
+        per_dataset[dataset_key] = per_query
+        rows.append([dataset.title, f"{per_query:.4f}"])
+
+    graph = load_dataset(BENCH_DATASETS[0], BENCH_SCALE, BENCH_SEED).graph
+    index = BFSSharingIndex(graph, capacity=BENCH_K_MAX, rng=0)
+    benchmark.pedantic(
+        lambda: index.refresh(np.random.default_rng(1)), rounds=3, iterations=1
+    )
+
+    emit(
+        format_table(
+            f"Table 15: BFS Sharing index update cost per query "
+            f"(K={BENCH_K_MAX}, scale={BENCH_SCALE})",
+            ["Dataset", "Time cost (s/query)"],
+            rows,
+        )
+        + "\n"
+        + paper_note(
+            "the paper charges 0.02s (lastFM) up to ~7s (BioMine) per query "
+            "for re-sampling between 1000 successive queries."
+        ),
+        filename="table15_index_update.txt",
+    )
+
+    # Shape assertion: update cost scales with graph size (largest dataset
+    # costs more than the smallest).
+    if {"lastfm", "biomine"} <= set(per_dataset):
+        assert per_dataset["biomine"] > per_dataset["lastfm"]

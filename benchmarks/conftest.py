@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Replays every table/figure emitted during the run in the terminal summary,
+so `pytest benchmarks/ --benchmark-only | tee log` archives the full set of
+reproduced paper tables even though pytest captures per-test output.
+"""
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from benchmarks import _shared
+
+    if not _shared.EMITTED:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for chunk in _shared.EMITTED:
+        for line in chunk.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

@@ -1,0 +1,63 @@
+"""Protein-interaction scenario: reliable neighbourhood of a protein.
+
+The paper motivates s-t reliability with PPI networks: "finding other
+proteins that are highly probable to be connected with a specific protein"
+(Jin et al.'s motivating application).  This example builds the BioMine-like
+analogue, picks a query protein, and ranks candidate proteins by their
+estimated connection reliability — using RSS, the best-variance estimator,
+with MC double-checking the top hit.
+
+Run:  python examples/protein_interaction.py
+"""
+
+import numpy as np
+
+from repro.core.registry import create_estimator
+from repro.datasets.suite import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("biomine", scale="tiny", seed=3)
+    graph = dataset.graph
+    print(f"{dataset.title} analogue: {graph}")
+
+    rng = np.random.default_rng(11)
+    # Query protein: a node with decent connectivity.
+    degrees = np.array([graph.out_degree(v) for v in range(graph.node_count)])
+    query_protein = int(np.argsort(degrees)[-5])
+
+    # Candidates: proteins two hops away (direct partners are trivial).
+    distances = graph.bfs_distances(query_protein, max_hops=2)
+    candidates = np.nonzero(distances == 2)[0]
+    rng.shuffle(candidates)
+    candidates = candidates[:12]
+    print(
+        f"query protein: node {query_protein} "
+        f"(out-degree {int(degrees[query_protein])}), "
+        f"{len(candidates)} two-hop candidates\n"
+    )
+
+    estimator = create_estimator("rss", graph, stratum_edges=10, seed=5)
+    scored = []
+    for candidate in candidates:
+        reliability = estimator.estimate(
+            query_protein, int(candidate), samples=500, rng=rng
+        )
+        scored.append((reliability, int(candidate)))
+    scored.sort(reverse=True)
+
+    print(f"{'rank':>4s} {'protein':>8s} {'reliability':>12s}")
+    for rank, (reliability, candidate) in enumerate(scored[:8], start=1):
+        print(f"{rank:4d} {candidate:8d} {reliability:12.4f}")
+
+    best_reliability, best = scored[0]
+    mc = create_estimator("mc", graph, seed=6)
+    check = mc.estimate(query_protein, best, samples=3_000, rng=rng)
+    print(
+        f"\nMC cross-check of top hit (protein {best}): "
+        f"{check:.4f} vs RSS {best_reliability:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

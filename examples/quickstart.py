@@ -1,0 +1,57 @@
+"""Quickstart: estimate s-t reliability on a small uncertain graph.
+
+Builds the classic "bridge" network, computes the exact reliability, and
+compares all six estimators of the paper on the same query.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    PAPER_ESTIMATORS,
+    UncertainGraph,
+    create_estimator,
+    reliability_exact,
+)
+from repro.core.registry import display_name
+
+
+def main() -> None:
+    # A Wheatstone-bridge uncertain network: two routes from 0 to 3 plus a
+    # bridge edge 1 -> 2 that couples them.
+    edges = [
+        (0, 1, 0.9),
+        (0, 2, 0.8),
+        (1, 2, 0.7),
+        (1, 3, 0.6),
+        (2, 3, 0.5),
+    ]
+    graph = UncertainGraph(4, edges)
+    source, target = 0, 3
+
+    exact = reliability_exact(graph, source, target)
+    print(f"graph: {graph}")
+    print(f"exact reliability R({source}, {target}) = {exact:.6f}\n")
+
+    samples = 20_000
+    print(f"{'estimator':12s} {'estimate':>10s} {'abs error':>10s}")
+    for key in PAPER_ESTIMATORS:
+        options = {"stratum_edges": 3} if key == "rss" else {}
+        estimator = create_estimator(key, graph, seed=7, **options)
+        estimate = estimator.estimate(
+            source, target, samples, rng=np.random.default_rng(42)
+        )
+        print(
+            f"{display_name(key):12s} {estimate:10.5f} "
+            f"{abs(estimate - exact):10.5f}"
+        )
+
+    print(
+        "\nAll six are unbiased estimators of the same #P-hard quantity; "
+        "they differ in variance, time, and memory (see the benchmarks)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Social-influence scenario: convergence-aware reliability evaluation.
+
+The paper's other motivating application: "evaluating information diffusion
+in a social influence network".  Under the independent-cascade model, the
+probability that user t is influenced by user s equals the s-t reliability
+of the influence graph.  This example runs the paper's convergence protocol
+(rho_K < 1e-3) on the LastFM analogue, showing that different estimators
+need different sample sizes — the study's central methodological point.
+
+Run:  python examples/social_influence.py
+"""
+
+from repro.core.registry import create_estimator, display_name
+from repro.datasets.queries import generate_workload
+from repro.datasets.suite import load_dataset
+from repro.experiments.convergence import ConvergenceCriterion, run_convergence
+
+
+def main() -> None:
+    dataset = load_dataset("lastfm", scale="tiny", seed=0)
+    graph = dataset.graph
+    print(f"{dataset.title} analogue: {graph}")
+
+    workload = generate_workload(graph, pair_count=5, hop_distance=2, seed=1)
+    print(f"workload: {len(workload)} (influencer, fan) pairs, 2 hops apart\n")
+
+    criterion = ConvergenceCriterion(k_start=250, k_step=250, k_max=1_500)
+    print(
+        f"{'estimator':12s} {'K@conv':>8s} {'influence prob':>15s} "
+        f"{'s/query':>9s}"
+    )
+    for key in ("mc", "lp_plus", "rhh", "rss"):
+        options = {"stratum_edges": 10} if key == "rss" else {}
+        estimator = create_estimator(key, graph, seed=0, **options)
+        result = run_convergence(
+            estimator, workload, criterion=criterion, repeats=6, seed=0,
+            stop_at_convergence=True,
+        )
+        point = result.convergence_point
+        converged = result.converged_at or criterion.k_max
+        print(
+            f"{display_name(key):12s} {converged:8d} "
+            f"{point.average_reliability:15.4f} {point.seconds_per_query:9.4f}"
+        )
+
+    print(
+        "\nNote how the recursive estimators (RHH/RSS) reach the dispersion "
+        "criterion with fewer samples than the MC family — the paper's "
+        "argument against comparing all methods at one fixed K."
+    )
+
+
+if __name__ == "__main__":
+    main()

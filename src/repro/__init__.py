@@ -1,0 +1,43 @@
+"""repro: s-t reliability algorithms over uncertain graphs.
+
+A from-scratch reproduction of Ke, Khan & Lim, *"An In-Depth Comparison of
+s-t Reliability Algorithms over Uncertain Graphs"* (VLDB 2019 /
+arXiv:1904.05300): the six estimators, the dataset suite, the convergence
+framework, and a benchmark per table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import UncertainGraph, create_estimator
+
+    graph = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.25)])
+    mc = create_estimator("mc", graph, seed=7)
+    print(mc.estimate(0, 2, samples=10_000))
+"""
+
+from repro.core.graph import GraphBuilder, UncertainGraph
+from repro.core.bounds import reliability_bounds
+from repro.core.exact import reliability_exact
+from repro.core.recommend import recommend_estimator
+from repro.core.registry import (
+    PAPER_ESTIMATORS,
+    create_estimator,
+    estimator_class,
+    estimator_keys,
+    register_estimator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphBuilder",
+    "UncertainGraph",
+    "reliability_bounds",
+    "reliability_exact",
+    "recommend_estimator",
+    "PAPER_ESTIMATORS",
+    "create_estimator",
+    "estimator_class",
+    "estimator_keys",
+    "register_estimator",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main entry points:
+
+* ``estimate``   — one s-t reliability query on a suite dataset
+* ``datasets``   — the Table 2 dataset summary
+* ``topk``       — top-k most reliable targets from a source
+* ``bounds``     — polynomial-time lower/upper bracket for a pair
+* ``recommend``  — walk the paper's Fig. 18 decision tree
+* ``study``      — a miniature convergence study (Tables 3-14 shaped)
+
+All commands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.bounds import reliability_bounds
+from repro.core.recommend import recommend_estimator
+from repro.core.registry import PAPER_ESTIMATORS, create_estimator, display_name
+from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table, load_dataset
+from repro.experiments.convergence import ConvergenceCriterion
+from repro.experiments.report import format_dict_rows, format_table
+from repro.experiments.runner import StudyConfig, run_study
+from repro.queries.top_k import top_k_reliable_targets
+from repro.util.rng import stable_substream
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=DATASET_KEYS, default="lastfm",
+        help="suite dataset to query (default: lastfm)",
+    )
+    parser.add_argument(
+        "--scale", choices=SCALES, default="tiny",
+        help="dataset scale (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="s-t reliability over uncertain graphs (VLDB'19 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    estimate = commands.add_parser("estimate", help="one s-t reliability query")
+    _add_dataset_arguments(estimate)
+    estimate.add_argument("--source", type=int, required=True)
+    estimate.add_argument("--target", type=int, required=True)
+    estimate.add_argument(
+        "--method", choices=PAPER_ESTIMATORS + ["lp", "dynamic_mc"], default="mc"
+    )
+    estimate.add_argument("--samples", "-K", type=int, default=1_000)
+
+    datasets = commands.add_parser("datasets", help="Table 2 dataset summary")
+    datasets.add_argument("--scale", choices=SCALES, default="tiny")
+    datasets.add_argument("--seed", type=int, default=0)
+
+    topk = commands.add_parser("topk", help="top-k reliable targets")
+    _add_dataset_arguments(topk)
+    topk.add_argument("--source", type=int, required=True)
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--samples", "-K", type=int, default=500)
+    topk.add_argument(
+        "--method", choices=["bfs_sharing", "mc"], default="bfs_sharing"
+    )
+
+    bounds = commands.add_parser(
+        "bounds", help="polynomial-time reliability bracket"
+    )
+    _add_dataset_arguments(bounds)
+    bounds.add_argument("--source", type=int, required=True)
+    bounds.add_argument("--target", type=int, required=True)
+
+    recommend = commands.add_parser(
+        "recommend", help="walk the paper's decision tree (Fig. 18)"
+    )
+    recommend.add_argument(
+        "--memory-limited", action="store_true",
+        help="follow the small-memory branch",
+    )
+    recommend.add_argument(
+        "--lowest-variance", action="store_true",
+        help="prefer the variance-reduced estimators",
+    )
+    recommend.add_argument(
+        "--latency-tolerant", action="store_true",
+        help="accept slower queries on the small-memory branch",
+    )
+
+    study = commands.add_parser(
+        "study", help="miniature convergence study on one dataset"
+    )
+    _add_dataset_arguments(study)
+    study.add_argument("--pairs", type=int, default=4)
+    study.add_argument("--repeats", type=int, default=4)
+    study.add_argument("--kmax", type=int, default=750)
+    study.add_argument(
+        "--estimators", nargs="+", choices=PAPER_ESTIMATORS,
+        default=["mc", "rhh", "rss"],
+    )
+    return parser
+
+
+def _command_estimate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
+    value = estimator.estimate(
+        args.source, args.target, args.samples,
+        rng=stable_substream(args.seed, args.source, args.target),
+    )
+    print(
+        f"{display_name(args.method)} on {dataset.title} ({args.scale}): "
+        f"R({args.source}, {args.target}) ~= {value:.6f}  [K={args.samples}]"
+    )
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = dataset_table(args.scale, args.seed)
+    print(
+        format_dict_rows(
+            f"Table 2: dataset properties (scale={args.scale})",
+            rows,
+            ["dataset", "nodes", "edges", "edge_probabilities"],
+            headers=["Dataset", "#Nodes", "#Edges", "Edge probabilities"],
+        )
+    )
+    return 0
+
+
+def _command_topk(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    ranking = top_k_reliable_targets(
+        dataset.graph, args.source, args.k,
+        samples=args.samples, method=args.method, rng=args.seed,
+    )
+    rows = [
+        [str(rank), str(node), f"{reliability:.4f}"]
+        for rank, (node, reliability) in enumerate(ranking, start=1)
+    ]
+    print(
+        format_table(
+            f"Top-{args.k} reliable targets from node {args.source} "
+            f"({dataset.title}, {args.method}, K={args.samples})",
+            ["rank", "node", "reliability"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    lower, upper = reliability_bounds(dataset.graph, args.source, args.target)
+    print(
+        f"{dataset.title} ({args.scale}): "
+        f"{lower:.6f} <= R({args.source}, {args.target}) <= {upper:.6f}"
+    )
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    recommendation = recommend_estimator(
+        memory_limited=args.memory_limited,
+        want_lowest_variance=args.lowest_variance,
+        want_fastest=not args.latency_tolerant,
+    )
+    print(" -> ".join(recommendation.path))
+    print(
+        "recommended: "
+        + ", ".join(display_name(k) for k in recommendation.estimators)
+    )
+    return 0
+
+
+def _command_study(args: argparse.Namespace) -> int:
+    config = StudyConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        pair_count=args.pairs,
+        repeats=args.repeats,
+        criterion=ConvergenceCriterion(k_start=250, k_step=250, k_max=args.kmax),
+        estimators=tuple(args.estimators),
+        seed=args.seed,
+    )
+    result = run_study(config)
+    print(
+        format_dict_rows(
+            f"Accuracy, {result.dataset.title} ({args.scale})",
+            result.accuracy_rows(),
+            ["estimator", "K_conv", "R_conv", "RE_conv_%", "R_1000", "RE_1000_%"],
+        )
+    )
+    print()
+    print(
+        format_dict_rows(
+            f"Running time, {result.dataset.title} ({args.scale})",
+            result.runtime_rows(),
+            ["estimator", "K_conv", "time_conv_s", "time_1000_s", "ms_per_sample"],
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "estimate": _command_estimate,
+    "datasets": _command_datasets,
+    "topk": _command_topk,
+    "bounds": _command_bounds,
+    "recommend": _command_recommend,
+    "study": _command_study,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Polynomial-time reliability bounds (the paper's Fig. 2 taxonomy).
+
+The paper's problem-space map (Fig. 2) places "polynomial-time upper/lower
+bounds" and the "most reliable path" next to the sampling estimators this
+library centres on.  Both are implemented here — they are useful on their
+own (instant sanity bands around any estimate) and power the test suite's
+bracketing property ``lower <= R(s, t) <= upper``.
+
+* **Lower bound** — the most reliable s-t path: one specific world family
+  where the whole path exists has probability ``prod p(e)``, so
+  ``R(s, t) >= max over paths prod p(e)``.  Computed by Dijkstra on edge
+  weights ``-log p(e)`` (Chen et al. / Kimura-Saito's most probable path).
+* **Upper bound** — a minimum s-t edge cut: every s-t connection crosses
+  any cut ``C``, so ``R(s, t) <= 1 - prod_{e in C}(1 - p(e))``.  The best
+  such cut minimises that probability, i.e. a min cut under capacities
+  ``-log(1 - p(e))`` (Edmonds-Karp on :mod:`repro.util.flow`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.util.flow import max_flow
+from repro.util.validation import check_node
+
+
+@dataclass(frozen=True)
+class PathBound:
+    """Most reliable s-t path: the probability lower bound and its witness."""
+
+    probability: float
+    path: Tuple[int, ...]  # node sequence, empty when t is unreachable
+
+
+@dataclass(frozen=True)
+class CutBound:
+    """Minimum-cut upper bound and the witnessing cut's edge endpoints."""
+
+    probability: float
+    cut: Tuple[Tuple[int, int], ...]  # (source, target) pairs, possibly empty
+
+
+def most_reliable_path(
+    graph: UncertainGraph, source: int, target: int
+) -> PathBound:
+    """Dijkstra for the s-t path maximising ``prod p(e)`` (lower bound).
+
+    Returns probability 0 and an empty path when ``target`` is unreachable;
+    probability 1 and the trivial path when ``source == target``.
+    """
+    check_node(source, graph.node_count, "source")
+    check_node(target, graph.node_count, "target")
+    if source == target:
+        return PathBound(1.0, (source,))
+
+    indptr, targets, probs = graph.indptr, graph.targets, graph.probs
+    distance = np.full(graph.node_count, np.inf)
+    parent = np.full(graph.node_count, -1, dtype=np.int64)
+    distance[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node == target:
+            break
+        if dist > distance[node]:
+            continue
+        start, stop = indptr[node], indptr[node + 1]
+        for offset in range(start, stop):
+            neighbor = int(targets[offset])
+            weight = -math.log(probs[offset]) if probs[offset] < 1.0 else 0.0
+            candidate = dist + weight
+            if candidate < distance[neighbor]:
+                distance[neighbor] = candidate
+                parent[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+
+    if not np.isfinite(distance[target]):
+        return PathBound(0.0, ())
+    path = [target]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return PathBound(float(math.exp(-distance[target])), tuple(path))
+
+
+def min_cut_upper_bound(
+    graph: UncertainGraph, source: int, target: int
+) -> CutBound:
+    """Minimum-cut reliability upper bound.
+
+    Any s-t edge cut ``C`` gives ``R <= 1 - prod_{e in C}(1 - p(e))``; the
+    tightest such cut minimises ``sum -log(1 - p(e))``, a min-cut problem.
+    Probability-1 edges get infinite capacity (a cut through them is
+    vacuous: bound 1.0).
+    """
+    check_node(source, graph.node_count, "source")
+    check_node(target, graph.node_count, "target")
+    if source == target:
+        return CutBound(1.0, ())
+
+    edge_list = list(graph.iter_edges())
+    flow_edges = []
+    for u, v, p in edge_list:
+        capacity = float("inf") if p >= 1.0 else -math.log1p(-p)
+        flow_edges.append((u, v, capacity))
+    result = max_flow(graph.node_count, flow_edges, source, target)
+    if result.value == float("inf"):
+        # Every cut contains a certain edge: no information.
+        return CutBound(1.0, ())
+    # 1 - prod(1 - p) over the cut == 1 - exp(-min cut capacity).
+    bound = 1.0 - math.exp(-result.value)
+    cut = tuple((edge_list[i][0], edge_list[i][1]) for i in result.cut_edges)
+    return CutBound(float(min(1.0, bound)), cut)
+
+
+def reliability_bounds(
+    graph: UncertainGraph, source: int, target: int
+) -> Tuple[float, float]:
+    """``(lower, upper)`` polynomial-time bracket around ``R(s, t)``."""
+    lower = most_reliable_path(graph, source, target).probability
+    upper = min_cut_upper_bound(graph, source, target).probability
+    return lower, upper
+
+
+__all__ = [
+    "PathBound",
+    "CutBound",
+    "most_reliable_path",
+    "min_cut_upper_bound",
+    "reliability_bounds",
+]

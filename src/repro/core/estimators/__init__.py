@@ -1,0 +1,26 @@
+"""The six s-t reliability estimators of the paper (plus uncorrected LP)."""
+
+from repro.core.estimators.base import Estimator, QueryStatistics
+from repro.core.estimators.bfs_sharing import BFSSharingEstimator, BFSSharingIndex
+from repro.core.estimators.lazy_propagation import (
+    LazyPropagationEstimator,
+    LazyPropagationOriginal,
+)
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.estimators.prob_tree import FWDProbTreeIndex, ProbTreeEstimator
+from repro.core.estimators.recursive_rhh import RecursiveSamplingEstimator
+from repro.core.estimators.recursive_rss import RecursiveStratifiedEstimator
+
+__all__ = [
+    "Estimator",
+    "QueryStatistics",
+    "MonteCarloEstimator",
+    "BFSSharingEstimator",
+    "BFSSharingIndex",
+    "LazyPropagationEstimator",
+    "LazyPropagationOriginal",
+    "ProbTreeEstimator",
+    "FWDProbTreeIndex",
+    "RecursiveSamplingEstimator",
+    "RecursiveStratifiedEstimator",
+]

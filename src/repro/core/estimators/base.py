@@ -1,0 +1,125 @@
+"""Estimator interface shared by all six algorithms.
+
+Every estimator answers the fundamental s-t reliability query of the paper:
+*given* ``(s, t)`` *and a sample budget* ``K``, *return an unbiased estimate
+of* ``R(s, t)``.  Index-based methods (BFS Sharing, ProbTree) additionally
+expose an offline :meth:`Estimator.prepare` phase whose cost the experiment
+harness reports separately (paper §3.7).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.util.rng import SeedLike, ensure_generator
+from repro.util.validation import check_node, check_positive
+
+
+@dataclass
+class QueryStatistics:
+    """Per-query instrumentation collected by estimators.
+
+    The harness reads these to reproduce the paper's per-sample cost and
+    memory discussions without re-instrumenting each algorithm externally.
+    """
+
+    samples_requested: int = 0
+    edges_probed: int = 0
+    nodes_expanded: int = 0
+    recursion_depth: int = 0
+    fallback_calls: int = 0
+
+    def merge(self, other: "QueryStatistics") -> None:
+        self.samples_requested += other.samples_requested
+        self.edges_probed += other.edges_probed
+        self.nodes_expanded += other.nodes_expanded
+        self.recursion_depth = max(self.recursion_depth, other.recursion_depth)
+        self.fallback_calls += other.fallback_calls
+
+
+class Estimator(abc.ABC):
+    """Abstract s-t reliability estimator over one uncertain graph.
+
+    Subclasses implement :meth:`_estimate`; this base class handles argument
+    validation, RNG coercion, and the trivial ``s == t`` case (reliability 1,
+    paper Alg. 1 lines 6-9) so all estimators agree on edge cases.
+    """
+
+    #: Registry key and display name, e.g. ``"mc"`` / ``"MC"``.
+    key: ClassVar[str] = ""
+    display_name: ClassVar[str] = ""
+    #: Whether the method has an offline index phase (paper Fig. 13).
+    uses_index: ClassVar[bool] = False
+
+    def __init__(self, graph: UncertainGraph, *, seed: SeedLike = None) -> None:
+        self.graph = graph
+        self._rng = ensure_generator(seed)
+        self.last_query_statistics = QueryStatistics()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        source: int,
+        target: int,
+        samples: int,
+        *,
+        rng: SeedLike = None,
+    ) -> float:
+        """Estimate ``R(source, target)`` from ``samples`` samples.
+
+        ``rng`` overrides the estimator's own stream for this query — the
+        experiment runner passes independent substreams per (pair, repeat)
+        so repeated queries are statistically independent.
+        """
+        source = check_node(source, self.graph.node_count, "source")
+        target = check_node(target, self.graph.node_count, "target")
+        samples = check_positive(samples, "samples")
+        generator = self._rng if rng is None else ensure_generator(rng)
+        self.last_query_statistics = QueryStatistics(samples_requested=samples)
+        if source == target:
+            return 1.0
+        estimate = self._estimate(source, target, samples, generator)
+        if not 0.0 <= estimate <= 1.0 + 1e-12:
+            raise AssertionError(
+                f"{self.display_name} produced out-of-range estimate {estimate}"
+            )
+        return min(estimate, 1.0)
+
+    def prepare(self) -> None:
+        """Build any offline index.  Default: nothing to do."""
+
+    def memory_bytes(self) -> int:
+        """Approximate online working-set size in bytes (paper §3.6).
+
+        Includes the graph plus estimator-owned auxiliary state; subclasses
+        add their index/stack/heap footprints.
+        """
+        return self.graph.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        source: int,
+        target: int,
+        samples: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Estimate reliability for validated ``source != target``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph!r})"
+
+
+__all__ = ["Estimator", "QueryStatistics"]

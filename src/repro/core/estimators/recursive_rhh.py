@@ -1,0 +1,274 @@
+"""Recursive sampling "RHH" (paper §2.4, Algorithm 4; Jin et al., PVLDB'11).
+
+Divide and conquer over *prefix groups* ``G(E1, E2)``: the possible worlds
+containing every edge in ``E1`` and no edge in ``E2``.  At each step the
+method picks the next *expandable* edge ``e`` (an out-edge of a node already
+reached from ``s`` through ``E1``) in DFS order, and splits the sample budget
+between the include/exclude branches **deterministically and proportionally**
+to ``P(e)`` — removing the Bernoulli uncertainty of that edge from the
+estimator and provably reducing variance below plain MC (Theorem 2 of Jin et
+al.).  Branches terminate when:
+
+* the included edge reaches ``t`` — ``E1`` contains an s-t path, reliability 1;
+* no expandable edge remains — ``E2`` contains an s-t cut, reliability 0;
+* the budget falls to ``threshold`` — fall back to non-recursive MC sampling
+  conditioned on ``(E1, E2)`` (Alg. 4 lines 1-2; paper default threshold 5).
+
+Two pruning rules mirror the paper's motivation bullets: edges into
+already-reached nodes are never sampled (they cannot change reachability
+given ``E1``), and the shared DFS prefix lets all worlds in a group share the
+reachability work done so far.
+
+Allocation detail: Alg. 4 writes ``K1 = floor(K * P(e))`` with weights
+``P(e)``/``1 - P(e)``, leaving the ``K1 = 0`` case (small ``P(e) * K``)
+undefined — the pseudocode would recurse with zero samples.  We resolve it
+the way the paper's Hansen-Hurwitz reference suggests: *stochastically
+rounded* allocation ``K1 = floor(P(e) K + U)``, ``U ~ Uniform(0,1)``, with
+weights ``K1/K`` and ``K2/K``.  ``E[K1]/K = P(e)`` keeps the estimator
+unbiased for any edge probability, a zero-sample branch simply drops out
+(weight 0), and whenever ``P(e) K >= 1`` the split is the paper's
+deterministic one up to the fractional sample.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.estimators.base import Estimator
+from repro.core.graph import UncertainGraph
+from repro.core.possible_world import (
+    EDGE_ABSENT,
+    EDGE_FREE,
+    EDGE_PRESENT,
+    ReachabilitySampler,
+)
+from repro.util.recursion import recursion_limit
+from repro.util.rng import SeedLike
+from repro.util.validation import check_positive
+
+DEFAULT_THRESHOLD = 5  # paper §3.1.3: recursion-stop sample size
+
+
+ALLOCATIONS = ("proportional", "binomial")
+
+
+class RecursiveSamplingEstimator(Estimator):
+    """RHH: recursive sampling with proportional budget allocation.
+
+    ``allocation="binomial"`` gives the *unreduced* recursive estimator —
+    each sample picks its branch by an independent coin flip, i.e.
+    ``K1 ~ Binomial(K, P(e))`` — which is Zhu et al.'s Dynamic MC sampling
+    (BMC, DASFAA'11), the "very similar algorithm" the paper mentions in
+    §2.4.  It shares MC's variance; the default proportional split is the
+    variance-reduced RHH (Theorem 2 of Jin et al.).
+    """
+
+    key = "rhh"
+    display_name = "RHH"
+    uses_index = False
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        allocation: str = "proportional",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        self.threshold = check_positive(threshold, "threshold")
+        if allocation not in ALLOCATIONS:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATIONS}, got {allocation!r}"
+            )
+        self.allocation = allocation
+        self._sampler = ReachabilitySampler(graph)
+        # Mutable recursion state, reset per query.  ``_forced`` holds the
+        # (E1, E2) conditioning; ``_reached`` the nodes connected to s via E1;
+        # ``_stack`` the DFS cursor that orders expandable edges.
+        self._forced = np.zeros(graph.edge_count, dtype=np.int8)
+        self._reached = np.zeros(graph.node_count, dtype=bool)
+        self._stack: List[List[int]] = []
+        self._dirty_edges: List[int] = []
+        self._max_depth_seen = 0
+        self._source = 0
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+
+    def _recurse(
+        self,
+        target: int,
+        samples: int,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Estimate reliability of the current prefix group with ``samples``.
+
+        The exclude branch is unrolled into a loop (it only advances the DFS
+        cursor), so Python recursion depth tracks the *include* chain — the
+        DFS path depth, bounded by the longest simple path explored.
+        """
+        graph = self.graph
+        indptr, targets, probs = graph.indptr, graph.targets, graph.probs
+        forced, reached, stack = self._forced, self._reached, self._stack
+        self._max_depth_seen = max(self._max_depth_seen, depth)
+
+        result = 0.0
+        weight = 1.0  # probability weight accumulated along the exclude chain
+        trail: List[Tuple[str, object]] = []
+        while True:
+            # --- Find the next expandable edge in DFS order. ---------------
+            edge_id = -1
+            while stack:
+                node, offset = stack[-1]
+                if offset >= indptr[node + 1]:
+                    trail.append(("pop", stack.pop()))
+                    continue
+                neighbor = int(targets[offset])
+                if reached[neighbor]:
+                    # Irrelevant edge: cannot change reachability given E1.
+                    stack[-1][1] += 1
+                    trail.append(("advance", stack[-1]))
+                    continue
+                edge_id = offset
+                break
+            if edge_id < 0:
+                break  # E2 contains an s-t cut: this chain contributes 0.
+
+            if samples <= self.threshold:
+                # Non-recursive fallback conditioned on (E1, E2).
+                self.last_query_statistics.fallback_calls += 1
+                source = self._source
+                result += weight * self._sampler.estimate(
+                    source, target, samples, rng, forced
+                )
+                break
+
+            frame = stack[-1]
+            neighbor = int(targets[edge_id])
+            probability = float(probs[edge_id])
+            if self.allocation == "proportional":
+                # Stochastically rounded proportional split (RHH).
+                include_samples = int(probability * samples + rng.random())
+            else:
+                # Per-sample coin flips (Dynamic MC / BMC).
+                include_samples = int(rng.binomial(samples, probability))
+            exclude_samples = samples - include_samples
+
+            if include_samples > 0:
+                include_weight = include_samples / samples
+                if neighbor == target:
+                    include_value = 1.0  # E1 now contains an s-t path
+                else:
+                    forced[edge_id] = EDGE_PRESENT
+                    self._dirty_edges.append(edge_id)
+                    reached[neighbor] = True
+                    frame[1] += 1
+                    stack.append([neighbor, int(indptr[neighbor])])
+                    include_value = self._recurse(
+                        target, include_samples, depth + 1, rng
+                    )
+                    stack.pop()
+                    frame[1] -= 1
+                    reached[neighbor] = False
+                    forced[edge_id] = EDGE_FREE
+                result += weight * include_weight * include_value
+
+            if exclude_samples <= 0:
+                break
+            # Exclude branch: continue this chain with the reduced budget.
+            weight *= exclude_samples / samples
+            samples = exclude_samples
+            forced[edge_id] = EDGE_ABSENT
+            self._dirty_edges.append(edge_id)
+            trail.append(("exclude", edge_id))
+            frame[1] += 1
+            trail.append(("advance", frame))
+
+        # --- Backtrack every state change made by this invocation. --------
+        for kind, payload in reversed(trail):
+            if kind == "pop":
+                stack.append(payload)  # type: ignore[arg-type]
+            elif kind == "advance":
+                payload[1] -= 1  # type: ignore[index]
+            else:  # "exclude"
+                forced[payload] = EDGE_FREE  # type: ignore[index]
+        return result
+
+    def _estimate(
+        self,
+        source: int,
+        target: int,
+        samples: int,
+        rng: np.random.Generator,
+    ) -> float:
+        graph = self.graph
+        for edge_id in self._dirty_edges:
+            self._forced[edge_id] = EDGE_FREE
+        self._dirty_edges = []
+        self._reached.fill(False)
+        self._reached[source] = True
+        self._stack = [[source, int(graph.indptr[source])]]
+        self._source = source
+        self._max_depth_seen = 0
+
+        # Include chains can be as deep as the DFS path; give CPython head
+        # room instead of crashing mid-query on chain-shaped graphs.
+        with recursion_limit(graph.node_count + 2000):
+            estimate = self._recurse(target, samples, 0, rng)
+        self.last_query_statistics.recursion_depth = self._max_depth_seen
+        return estimate
+
+    def memory_bytes(self) -> int:
+        # Graph + conditioning array + reached set + DFS/recursion stack —
+        # the "whole recursive stack and simplified graph instances" cost the
+        # paper highlights for recursive estimators (§2.8, §3.6).
+        frame_bytes = 120  # per-frame CPython estimate (list of two ints)
+        stack_bytes = frame_bytes * max(len(self._stack), 1)
+        recursion_bytes = 400 * max(self._max_depth_seen, 1)
+        state_bytes = int(self._forced.nbytes) + int(self._reached.nbytes)
+        visited_bytes = self.graph.node_count * np.dtype(np.int64).itemsize
+        return (
+            super().memory_bytes()
+            + state_bytes
+            + stack_bytes
+            + recursion_bytes
+            + visited_bytes
+        )
+
+
+class DynamicMCEstimator(RecursiveSamplingEstimator):
+    """Dynamic MC sampling (BMC; Zhu et al., DASFAA'11) — paper §2.4.
+
+    The divide-and-conquer structure of RHH with *sampled* branch
+    allocation: statistically equivalent to plain MC (same variance) while
+    still sharing reachability work across worlds with a common prefix.
+    Registered as ``dynamic_mc``; not part of the paper's six compared
+    methods, but included since the paper credits it as RHH's twin.
+    """
+
+    key = "dynamic_mc"
+    display_name = "DynamicMC"
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            graph, threshold=threshold, allocation="binomial", seed=seed
+        )
+
+
+__all__ = [
+    "RecursiveSamplingEstimator",
+    "DynamicMCEstimator",
+    "ALLOCATIONS",
+    "DEFAULT_THRESHOLD",
+]

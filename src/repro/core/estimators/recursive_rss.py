@@ -1,0 +1,226 @@
+"""Recursive stratified sampling "RSS" (paper §2.5, Algorithm 5, Table 1).
+
+Li et al. (TKDE'16) partition the probability space over ``r`` selected edges
+into ``r + 1`` disjoint strata (Table 1): stratum 0 forces all ``r`` edges
+absent; stratum ``i >= 1`` forces edges ``1..i-1`` absent, edge ``i`` present
+and leaves the rest undetermined.  The stratum probabilities
+
+``pi_0 = prod(1 - p_j)``,  ``pi_i = p_i * prod_{j<i}(1 - p_j)``
+
+telescope to 1, so assigning each stratum a budget proportional to ``pi_i``
+and recursing removes the Bernoulli noise of the selected edges from the
+estimator — variance strictly below MC (Theorems 4.2/4.3 of Li et al.).
+RHH is the special case ``r = 1`` (paper §3.2 point 1).
+
+Per the paper's setup (§3.1.3), the ``r`` edges are chosen by BFS from the
+source over the currently possible graph (forced-absent edges removed,
+forced-present traversed for free), and recursion falls back to conditioned
+MC when the stratum budget drops under ``threshold`` or fewer than ``r``
+probabilistic edges are reachable.  Budgets use the same stochastically
+rounded allocation as our RHH (weights ``K_i / K`` with ``E[K_i] = pi_i K``),
+which keeps the estimator unbiased when ``pi_i K < 1`` — a case Alg. 5
+leaves undefined.
+
+Two exact short-circuits mirror Li et al.'s graph simplification: a stratum
+in which ``t`` is already reachable through forced-present edges returns 1
+without sampling, and one where ``t`` is unreachable even using every
+undetermined edge returns 0.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.estimators.base import Estimator
+from repro.core.graph import UncertainGraph
+from repro.core.possible_world import (
+    EDGE_ABSENT,
+    EDGE_FREE,
+    EDGE_PRESENT,
+    ReachabilitySampler,
+)
+from repro.util.bitset import concatenate_ranges
+from repro.util.recursion import recursion_limit
+from repro.util.rng import SeedLike
+from repro.util.validation import check_positive
+
+DEFAULT_STRATUM_EDGES = 50  # paper §3.1.3: r = 50
+DEFAULT_THRESHOLD = 5  # paper §3.10: same stop threshold as RHH
+
+
+class RecursiveStratifiedEstimator(Estimator):
+    """RSS: recursive stratified sampling over r BFS-selected edges."""
+
+    key = "rss"
+    display_name = "RSS"
+    uses_index = False
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        stratum_edges: int = DEFAULT_STRATUM_EDGES,
+        threshold: int = DEFAULT_THRESHOLD,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        self.stratum_edges = check_positive(stratum_edges, "stratum_edges")
+        self.threshold = check_positive(threshold, "threshold")
+        self._sampler = ReachabilitySampler(graph)
+        self._forced = np.zeros(graph.edge_count, dtype=np.int8)
+        self._certain_epoch = np.zeros(graph.node_count, dtype=np.int64)
+        self._possible_epoch = np.zeros(graph.node_count, dtype=np.int64)
+        self._epoch = 0
+        self._max_depth_seen = 0
+        self._source = 0
+
+    # ------------------------------------------------------------------
+    # Stratum machinery
+    # ------------------------------------------------------------------
+
+    def _scan_reachability(self, target: int) -> tuple:
+        """One BFS pass over the conditioned graph (Alg. 5 line 9).
+
+        Returns ``(certain_hit, possible_hit, selected_edges)`` where
+        *certain* traverses only forced-present edges, *possible* also
+        traverses undetermined ones, and ``selected_edges`` are the first
+        ``r`` undetermined edge ids in possible-BFS discovery order.
+        """
+        graph = self.graph
+        indptr, targets = graph.indptr, graph.targets
+        forced = self._forced
+        self._epoch += 1
+        epoch = self._epoch
+        source = self._source
+
+        # Certain reachability: forced-present edges only (level-batched).
+        certain = self._certain_epoch
+        certain[source] = epoch
+        frontier = np.array([source], dtype=np.int64)
+        while frontier.size:
+            edge_ids = concatenate_ranges(indptr[frontier], indptr[frontier + 1])
+            if edge_ids.size == 0:
+                break
+            present = edge_ids[forced[edge_ids] == EDGE_PRESENT]
+            neighbors = targets[present]
+            fresh = np.unique(neighbors[certain[neighbors] != epoch])
+            if fresh.size == 0:
+                break
+            certain[fresh] = epoch
+            if certain[target] == epoch:
+                return True, True, []
+            frontier = fresh
+
+        # Possible reachability + selection of the first r free edges, in
+        # BFS level order from the source.
+        possible = self._possible_epoch
+        possible[source] = epoch
+        frontier = np.array([source], dtype=np.int64)
+        possible_hit = False
+        selected: List[int] = []
+        want = self.stratum_edges
+        while frontier.size:
+            edge_ids = concatenate_ranges(indptr[frontier], indptr[frontier + 1])
+            if edge_ids.size == 0:
+                break
+            states = forced[edge_ids]
+            if len(selected) < want:
+                free_ids = edge_ids[states == EDGE_FREE]
+                selected.extend(free_ids[: want - len(selected)].tolist())
+            neighbors = targets[edge_ids[states != EDGE_ABSENT]]
+            fresh = np.unique(neighbors[possible[neighbors] != epoch])
+            if fresh.size == 0:
+                break
+            possible[fresh] = epoch
+            if possible[target] == epoch:
+                possible_hit = True
+            frontier = fresh
+        return False, possible_hit, selected
+
+    def _recurse(
+        self,
+        target: int,
+        samples: int,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> float:
+        graph = self.graph
+        forced = self._forced
+        self._max_depth_seen = max(self._max_depth_seen, depth)
+
+        certain_hit, possible_hit, selected = self._scan_reachability(target)
+        if certain_hit:
+            return 1.0
+        if not possible_hit:
+            return 0.0
+        if samples < self.threshold or len(selected) < self.stratum_edges:
+            self.last_query_statistics.fallback_calls += 1
+            return self._sampler.estimate(
+                self._source, target, samples, rng, forced
+            )
+
+        probabilities = graph.probs[selected]
+        # Stratum masses per Table 1 (telescoping partition of unity).
+        absent_prefix = np.concatenate(([1.0], np.cumprod(1.0 - probabilities)))
+        masses = np.empty(len(selected) + 1, dtype=np.float64)
+        masses[0] = absent_prefix[-1]
+        masses[1:] = probabilities * absent_prefix[:-1]
+
+        # Stochastically rounded proportional allocation (see module doc).
+        raw = masses * samples
+        budgets = np.floor(raw + rng.random(raw.shape)).astype(np.int64)
+
+        estimate = 0.0
+        for stratum, budget in enumerate(budgets):
+            if budget == 0:
+                continue
+            # Force the stratum's status vector X_i onto the selected edges.
+            if stratum == 0:
+                forced_span = selected
+                forced[selected] = EDGE_ABSENT
+            else:
+                forced_span = selected[:stratum]
+                forced[selected[: stratum - 1]] = EDGE_ABSENT
+                forced[selected[stratum - 1]] = EDGE_PRESENT
+            value = self._recurse(target, int(budget), depth + 1, rng)
+            forced[forced_span] = EDGE_FREE
+            estimate += (budget / samples) * value
+        return estimate
+
+    def _estimate(
+        self,
+        source: int,
+        target: int,
+        samples: int,
+        rng: np.random.Generator,
+    ) -> float:
+        self._forced.fill(EDGE_FREE)
+        self._source = source
+        self._max_depth_seen = 0
+        with recursion_limit(self.graph.edge_count + 2000):
+            estimate = self._recurse(target, samples, 0, rng)
+        self.last_query_statistics.recursion_depth = self._max_depth_seen
+        return estimate
+
+    def memory_bytes(self) -> int:
+        # Graph + status vectors + the two BFS epoch arrays + recursion
+        # stack with per-level selected-edge lists (paper §3.6: RSS/RHH are
+        # the most memory-hungry online methods).
+        per_level = 64 + 8 * self.stratum_edges + 400
+        recursion_bytes = per_level * max(self._max_depth_seen, 1)
+        state_bytes = (
+            int(self._forced.nbytes)
+            + int(self._certain_epoch.nbytes)
+            + int(self._possible_epoch.nbytes)
+        )
+        visited_bytes = self.graph.node_count * np.dtype(np.int64).itemsize
+        return super().memory_bytes() + state_bytes + recursion_bytes + visited_bytes
+
+
+__all__ = [
+    "RecursiveStratifiedEstimator",
+    "DEFAULT_STRATUM_EDGES",
+    "DEFAULT_THRESHOLD",
+]

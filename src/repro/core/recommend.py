@@ -1,0 +1,107 @@
+"""Estimator recommendation: the paper's Table 17 and Figure 18 as an API.
+
+The paper closes with a star-rating summary (Table 17) and a decision tree
+(Fig. 18) that walks a practitioner from resource constraints to a suitable
+estimator.  :func:`recommend_estimator` implements that decision tree
+literally; :data:`STAR_RATINGS` encodes Table 17 so benchmarks can print it
+and compare against measured rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Table 17 (online query processing), 1-4 stars per metric.
+STAR_RATINGS: Dict[str, Dict[str, int]] = {
+    "mc": {"variance": 1, "accuracy": 3, "running_time": 2, "memory": 4},
+    "bfs_sharing": {"variance": 1, "accuracy": 3, "running_time": 1, "memory": 2},
+    "prob_tree": {"variance": 1, "accuracy": 3, "running_time": 3, "memory": 3},
+    "lp_plus": {"variance": 1, "accuracy": 3, "running_time": 3, "memory": 4},
+    "rhh": {"variance": 4, "accuracy": 4, "running_time": 4, "memory": 1},
+    "rss": {"variance": 4, "accuracy": 4, "running_time": 4, "memory": 1},
+}
+
+#: Table 17 (index-related), 1-4 stars.
+INDEX_STAR_RATINGS: Dict[str, Dict[str, int]] = {
+    "bfs_sharing": {
+        "build_time": 4,
+        "load_time": 3,
+        "update_time": 1,
+        "size": 3,
+    },
+    "prob_tree": {
+        "build_time": 3,
+        "load_time": 4,
+        "update_time": 4,
+        "size": 4,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of walking the Fig. 18 decision tree."""
+
+    estimators: Tuple[str, ...]
+    path: Tuple[str, ...]  # human-readable branch decisions, in order
+
+    def __str__(self) -> str:
+        steps = " -> ".join(self.path)
+        names = ", ".join(self.estimators)
+        return f"{steps} => {names}"
+
+
+def recommend_estimator(
+    *,
+    memory_limited: bool,
+    want_lowest_variance: bool = False,
+    want_fastest: bool = True,
+) -> Recommendation:
+    """Walk the paper's Fig. 18 decision tree.
+
+    Parameters
+    ----------
+    memory_limited:
+        ``True`` follows the "Memory: Smaller" branch (MC / LP+ / ProbTree);
+        ``False`` allows the memory-hungry methods (BFS Sharing, RHH, RSS).
+    want_lowest_variance:
+        On the large-memory branch, prefer the variance-reduced recursive
+        estimators over BFS Sharing.
+    want_fastest:
+        On the small-memory branch, prefer the faster LP+/ProbTree over
+        plain MC; among those two, ProbTree wins overall (the paper's final
+        recommendation) but requires an index, so both are returned in
+        preference order.
+    """
+    path: List[str] = []
+    if memory_limited:
+        path.append("Memory: smaller")
+        if want_fastest:
+            path.append("Running time: faster")
+            # ProbTree first: the paper's overall recommendation (its root-to-
+            # leaf path in Fig. 18 is all red ticks).
+            return Recommendation(("prob_tree", "lp_plus"), tuple(path))
+        path.append("Running time: slower acceptable")
+        return Recommendation(("mc",), tuple(path))
+
+    path.append("Memory: larger")
+    if want_lowest_variance:
+        path.append("Variance: lower")
+        return Recommendation(("rss", "rhh"), tuple(path))
+    path.append("Variance: higher acceptable")
+    return Recommendation(("bfs_sharing",), tuple(path))
+
+
+def overall_recommendation() -> str:
+    """The paper's single overall pick (§4): ProbTree."""
+    return "prob_tree"
+
+
+__all__ = [
+    "STAR_RATINGS",
+    "INDEX_STAR_RATINGS",
+    "Recommendation",
+    "recommend_estimator",
+    "overall_recommendation",
+]

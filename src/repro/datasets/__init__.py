@@ -1,0 +1,31 @@
+"""Dataset suite, probability models, and query workloads."""
+
+from repro.datasets.suite import (
+    DATASET_KEYS,
+    DATASETS,
+    SCALES,
+    Dataset,
+    DatasetSpec,
+    dataset_table,
+    load_dataset,
+)
+from repro.datasets.queries import (
+    QueryWorkload,
+    WorkloadError,
+    distance_sweep_workloads,
+    generate_workload,
+)
+
+__all__ = [
+    "DATASET_KEYS",
+    "DATASETS",
+    "SCALES",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_table",
+    "load_dataset",
+    "QueryWorkload",
+    "WorkloadError",
+    "distance_sweep_workloads",
+    "generate_workload",
+]

@@ -1,0 +1,120 @@
+"""Edge-probability models (paper §3.1.2).
+
+Each function maps a topology to per-edge existence probabilities using the
+exact model the paper applies to the corresponding real dataset:
+
+* LastFM — inverse out-degree of the edge's source node;
+* NetHEPT — uniform choice from {0.1, 0.01, 0.001};
+* AS Topology — the fraction of follow-up snapshots containing the link
+  (simulated: per-link stability drawn from a Beta fit to the paper's
+  reported moments, then an observed snapshot ratio binomially around it);
+* DBLP — exponential cdf ``1 - exp(-c / mu)`` of the collaboration count
+  ``c`` (``mu = 5`` gives "DBLP 0.2", ``mu = 20`` gives "DBLP 0.05");
+* BioMine — product of relevance, informativeness and confidence scores
+  (Eronen & Toivonen's construction, simulated component-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_generator
+
+NETHEPT_CHOICES: Tuple[float, float, float] = (0.1, 0.01, 0.001)
+
+
+def inverse_out_degree(
+    sources: np.ndarray, node_count: int
+) -> np.ndarray:
+    """LastFM model: ``P(u -> v) = 1 / out_degree(u)``.
+
+    Degree-1 sources yield probability exactly 1.0 — present in the real
+    LastFM data too, and a stress case for the estimators (LP's bug would
+    loop on such edges; see the lazy-propagation module).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    out_degree = np.bincount(sources, minlength=node_count)
+    return 1.0 / out_degree[sources]
+
+
+def uniform_choice(
+    edge_count: int,
+    choices: Sequence[float] = NETHEPT_CHOICES,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """NetHEPT model: probability drawn uniformly from ``choices``."""
+    generator = ensure_generator(rng)
+    values = np.asarray(choices, dtype=np.float64)
+    return values[generator.integers(len(values), size=edge_count)]
+
+
+def snapshot_ratio(
+    edge_count: int,
+    snapshots: int = 120,
+    stability_alpha: float = 0.79,
+    stability_beta: float = 2.64,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """AS-Topology model: ratio of follow-up snapshots containing the link.
+
+    The paper computes, per AS connection, the fraction of monthly snapshots
+    (Jan 2008 - Dec 2017, i.e. ~120) that contain it.  We simulate the
+    underlying per-link stability ``q ~ Beta(alpha, beta)`` — parameters fit
+    to the paper's reported moments (mean 0.23, SD 0.20) — and observe the
+    ratio of a Binomial(``snapshots``, q) draw, reproducing both the
+    distribution shape and the ratio's granularity.  Links observed in zero
+    follow-ups get the minimum ratio ``1/snapshots`` (the connection was
+    seen at least once to enter the dataset).
+    """
+    generator = ensure_generator(rng)
+    stability = generator.beta(stability_alpha, stability_beta, size=edge_count)
+    observed = generator.binomial(snapshots, stability)
+    observed = np.maximum(observed, 1)
+    return observed / snapshots
+
+
+def exponential_cdf(counts: np.ndarray, mu: float) -> np.ndarray:
+    """DBLP model: ``P = 1 - exp(-c / mu)`` for collaboration count ``c``."""
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    counts = np.asarray(counts, dtype=np.float64)
+    return 1.0 - np.exp(-counts / mu)
+
+
+def biomine_composite(
+    edge_count: int,
+    degrees: np.ndarray,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """BioMine model: relevance x informativeness x confidence.
+
+    Eronen & Toivonen (2012) combine (i) *relevance* of the relationship
+    type, (ii) *informativeness*, penalising edges incident to high-degree
+    nodes, and (iii) *confidence* in the underlying source record.  We draw
+    relevance per relationship type (a small discrete set), derive
+    informativeness from the actual endpoint degrees, and draw confidence
+    from a Beta.  Components are calibrated so the composite matches the
+    paper's reported distribution (mean 0.27, SD 0.21).
+    """
+    generator = ensure_generator(rng)
+    relationship_types = np.asarray([0.5, 0.7, 0.9, 1.0])
+    relevance = relationship_types[
+        generator.integers(len(relationship_types), size=edge_count)
+    ]
+    degrees = np.asarray(degrees, dtype=np.float64)
+    informativeness = np.clip(2.9 / np.log2(3.0 + degrees), 0.0, 1.0)
+    confidence = generator.beta(1.6, 1.2, size=edge_count)
+    composite = relevance * informativeness * confidence
+    return np.clip(composite, 1e-4, 1.0)
+
+
+__all__ = [
+    "NETHEPT_CHOICES",
+    "inverse_out_degree",
+    "uniform_choice",
+    "snapshot_ratio",
+    "exponential_cdf",
+    "biomine_composite",
+]

@@ -1,0 +1,84 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+Benchmarks print through these helpers so every reproduced table and figure
+looks the same: a titled, column-aligned ASCII table.  ``format_series``
+renders figure data (one line per K on the sweep axis) the way the paper's
+plots would read off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    materialised = [list(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * len(line(headers))
+    parts = [title, "=" * len(title), line(headers), rule]
+    parts.extend(line(row) for row in materialised)
+    return "\n".join(parts)
+
+
+def format_dict_rows(
+    title: str,
+    rows: Sequence[Mapping[str, str]],
+    columns: Sequence[str],
+    headers: Sequence[str] | None = None,
+) -> str:
+    """Render dict-shaped rows (as produced by StudyResult) as a table."""
+    headers = list(headers or columns)
+    body = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(title, headers, body)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    value_format: str = "{:.5g}",
+) -> str:
+    """Render figure data: one column per named series, one row per x.
+
+    ``series`` maps a curve name (estimator) to its y-values, aligned with
+    ``x_values`` — exactly the points a plot of the figure would show.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [str(x)]
+        for name in series:
+            values = series[name]
+            if index < len(values) and values[index] is not None:
+                value = values[index]
+                row.append(
+                    value_format.format(value)
+                    if isinstance(value, float)
+                    else str(value)
+                )
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def stars(count: int, maximum: int = 4) -> str:
+    """Star-rating cell for the Table 17 summary."""
+    count = max(0, min(maximum, int(count)))
+    return "*" * count + "." * (maximum - count)
+
+
+__all__ = ["format_table", "format_dict_rows", "format_series", "stars"]

@@ -1,0 +1,72 @@
+"""NetworkX interoperability.
+
+Real uncertain-graph datasets usually arrive as NetworkX graphs with a
+probability attribute; these converters bridge them to the frozen CSR
+:class:`~repro.core.graph.UncertainGraph` and back.  Node labels of any
+hashable type are supported — they are mapped to dense ids and the mapping
+is returned so queries can be phrased in the original labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import networkx as nx
+
+from repro.core.graph import UncertainGraph
+
+DEFAULT_ATTRIBUTE = "probability"
+
+
+def from_networkx(
+    source: "nx.Graph",
+    probability_attribute: str = DEFAULT_ATTRIBUTE,
+    default_probability: float | None = None,
+) -> Tuple[UncertainGraph, Dict[Hashable, int]]:
+    """Convert a NetworkX (Di)Graph into an :class:`UncertainGraph`.
+
+    Undirected inputs become bi-directed (both orientations share the
+    edge's probability, like the paper's social-network datasets).  Every
+    edge must carry ``probability_attribute`` unless
+    ``default_probability`` supplies a fallback.  Returns the graph and
+    the label -> dense-id mapping.
+    """
+    labels = list(source.nodes)
+    node_map: Dict[Hashable, int] = {label: i for i, label in enumerate(labels)}
+
+    def probability_of(data: dict, edge) -> float:
+        if probability_attribute in data:
+            return float(data[probability_attribute])
+        if default_probability is not None:
+            return float(default_probability)
+        raise ValueError(
+            f"edge {edge!r} lacks attribute {probability_attribute!r} and no "
+            "default_probability was given"
+        )
+
+    triples = []
+    for u, v, data in source.edges(data=True):
+        probability = probability_of(data, (u, v))
+        triples.append((node_map[u], node_map[v], probability))
+        if not source.is_directed():
+            triples.append((node_map[v], node_map[u], probability))
+    return UncertainGraph(len(labels), triples), node_map
+
+
+def to_networkx(
+    graph: UncertainGraph,
+    probability_attribute: str = DEFAULT_ATTRIBUTE,
+) -> "nx.DiGraph":
+    """Convert an :class:`UncertainGraph` to a NetworkX DiGraph.
+
+    Edge probabilities land in ``probability_attribute``; node ids are the
+    dense integers of the CSR graph.
+    """
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.node_count))
+    for u, v, p in graph.iter_edges():
+        result.add_edge(u, v, **{probability_attribute: p})
+    return result
+
+
+__all__ = ["DEFAULT_ATTRIBUTE", "from_networkx", "to_networkx"]

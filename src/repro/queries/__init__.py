@@ -1,0 +1,28 @@
+"""Advanced reliability queries built on the six estimators (paper §2.9).
+
+The paper notes that "many of the efficient sampling and indexing
+strategies that we investigate in this work can also be employed to answer
+such advanced queries".  This subpackage does exactly that:
+
+* :mod:`repro.queries.distance_constrained` — d-hop reliability (Jin et
+  al.'s original problem, which the paper generalises away from);
+* :mod:`repro.queries.top_k` — top-k most reliable targets from a source
+  (the problem BFS Sharing was designed for, paper §2.3);
+* :mod:`repro.queries.reliable_set` — all targets above a reliability
+  threshold (Khan et al., EDBT'14);
+* :mod:`repro.queries.conditional` — reliability given observed edge/node
+  states (Khan et al., TKDE'18).
+"""
+
+from repro.queries.conditional import conditional_reliability, failure_impact
+from repro.queries.distance_constrained import distance_constrained_reliability
+from repro.queries.reliable_set import reliable_set
+from repro.queries.top_k import top_k_reliable_targets
+
+__all__ = [
+    "conditional_reliability",
+    "failure_impact",
+    "distance_constrained_reliability",
+    "top_k_reliable_targets",
+    "reliable_set",
+]

@@ -1,0 +1,74 @@
+"""Distance-constrained reachability (Jin et al., PVLDB'11; paper §2.4).
+
+``R_d(s, t)``: the probability that ``t`` is reachable from ``s`` within
+``d`` hops.  The paper adapted Jin et al.'s recursive estimator *away* from
+this constraint to the fundamental s-t query; this module closes the loop
+and offers the constrained variant, via the same lazy-BFS MC kernel with a
+hop cap.  ``R_d`` is monotone in ``d`` and reaches ``R(s, t)`` once ``d``
+exceeds the graph's longest shortest path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.core.possible_world import ReachabilitySampler
+from repro.util.rng import SeedLike, ensure_generator
+from repro.util.validation import check_node, check_positive
+
+
+def distance_constrained_reliability(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    distance: int,
+    samples: int = 1_000,
+    rng: SeedLike = None,
+) -> float:
+    """MC estimate of ``R_d(source, target)`` with ``d = distance`` hops.
+
+    Uses Algorithm 1's lazy sampling with BFS truncated at ``distance``
+    levels; unbiased for the distance-constrained reliability by the same
+    hit-and-miss argument as the unconstrained estimator.
+    """
+    check_node(source, graph.node_count, "source")
+    check_node(target, graph.node_count, "target")
+    check_positive(distance, "distance")
+    check_positive(samples, "samples")
+    if source == target:
+        return 1.0
+    sampler = ReachabilitySampler(graph)
+    return sampler.estimate(
+        source, target, samples, ensure_generator(rng), max_hops=distance
+    )
+
+
+def distance_profile(
+    graph: UncertainGraph,
+    source: int,
+    target: int,
+    max_distance: int,
+    samples: int = 1_000,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """``R_d`` for every ``d in 1..max_distance`` (one MC batch per d).
+
+    Useful for picking the distance bound of a constrained query: the
+    profile saturates at the unconstrained reliability.
+    """
+    check_positive(max_distance, "max_distance")
+    generator = ensure_generator(rng)
+    return np.array(
+        [
+            distance_constrained_reliability(
+                graph, source, target, d, samples, generator
+            )
+            for d in range(1, max_distance + 1)
+        ]
+    )
+
+
+__all__ = ["distance_constrained_reliability", "distance_profile"]

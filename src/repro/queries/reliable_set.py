@@ -1,0 +1,45 @@
+"""Reliable-set queries (Khan et al., EDBT'14; paper §2.9).
+
+Given a source ``s`` and a threshold ``eta``, return every node whose
+reliability from ``s`` is at least ``eta`` — e.g. "all proteins connected
+to this protein with probability >= 0.5".  Shares the all-targets machinery
+of :mod:`repro.queries.top_k`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.graph import UncertainGraph
+from repro.queries.top_k import all_reliabilities
+from repro.util.rng import SeedLike
+from repro.util.validation import check_probability
+
+
+def reliable_set(
+    graph: UncertainGraph,
+    source: int,
+    threshold: float,
+    samples: int = 1_000,
+    method: str = "bfs_sharing",
+    rng: SeedLike = None,
+    include_source: bool = False,
+) -> List[Tuple[int, float]]:
+    """All nodes with estimated ``R(source, v) >= threshold``.
+
+    Returned in decreasing reliability (ties by node id).  The source node
+    itself is excluded unless ``include_source``.
+    """
+    threshold = check_probability(threshold, "threshold")
+    reliabilities = all_reliabilities(graph, source, samples, method, rng)
+    members = [
+        (node, float(reliabilities[node]))
+        for node in range(graph.node_count)
+        if reliabilities[node] >= threshold
+        and (include_source or node != source)
+    ]
+    members.sort(key=lambda pair: (-pair[1], pair[0]))
+    return members
+
+
+__all__ = ["reliable_set"]

@@ -1,0 +1,117 @@
+"""Max-flow / min-cut substrate (Edmonds-Karp) for reliability bounds.
+
+The reliability upper bound of :mod:`repro.core.bounds` needs the s-t edge
+cut minimising the probability that at least one cut edge exists — a
+min-cut under capacities ``-log(1 - p(e))``.  This module provides a small,
+dependency-free max-flow implementation over an explicit edge list with
+float capacities (``inf`` supported for probability-1 edges, which can
+never be "cut away").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+FlowEdge = Tuple[int, int, float]  # (source, target, capacity)
+
+
+class MaxFlowResult:
+    """Outcome of a max-flow computation: value and a minimum cut."""
+
+    def __init__(self, value: float, cut_edges: List[int], source_side: np.ndarray):
+        #: Maximum flow value == minimum cut capacity.
+        self.value = value
+        #: Indices (into the input edge list) of a minimum s-t cut.
+        self.cut_edges = cut_edges
+        #: Boolean mask of nodes on the source side of the cut.
+        self.source_side = source_side
+
+
+def max_flow(
+    node_count: int, edges: Sequence[FlowEdge], source: int, sink: int
+) -> MaxFlowResult:
+    """Edmonds-Karp max flow; returns the flow value and a minimum cut.
+
+    Runs in ``O(V E^2)`` — ample for the benchmark-scale graphs this
+    library targets.  ``capacity = inf`` edges are supported and never
+    appear in the returned cut (if every cut requires one, the flow and
+    cut value are infinite).
+    """
+    if not 0 <= source < node_count or not 0 <= sink < node_count:
+        raise ValueError("source/sink out of range")
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    # Residual graph as adjacency of edge slots; each input edge gets a
+    # forward slot and a zero-capacity reverse slot.
+    head: List[int] = []
+    capacity: List[float] = []
+    adjacency: List[List[int]] = [[] for _ in range(node_count)]
+    for u, v, cap in edges:
+        if cap < 0:
+            raise ValueError(f"negative capacity {cap} on edge ({u}, {v})")
+        adjacency[u].append(len(head))
+        head.append(v)
+        capacity.append(float(cap))
+        adjacency[v].append(len(head))
+        head.append(u)
+        capacity.append(0.0)
+
+    total_flow = 0.0
+    while True:
+        # BFS for a shortest augmenting path.
+        parent_edge = [-1] * node_count
+        parent_edge[source] = -2
+        queue = deque([source])
+        while queue and parent_edge[sink] == -1:
+            node = queue.popleft()
+            for slot in adjacency[node]:
+                neighbor = head[slot]
+                if parent_edge[neighbor] == -1 and capacity[slot] > 1e-15:
+                    parent_edge[neighbor] = slot
+                    queue.append(neighbor)
+        if parent_edge[sink] == -1:
+            break
+        # Bottleneck and augment.
+        bottleneck = float("inf")
+        node = sink
+        while node != source:
+            slot = parent_edge[node]
+            bottleneck = min(bottleneck, capacity[slot])
+            node = head[slot ^ 1]
+        if bottleneck == float("inf"):
+            total_flow = float("inf")
+            break
+        node = sink
+        while node != source:
+            slot = parent_edge[node]
+            capacity[slot] -= bottleneck
+            capacity[slot ^ 1] += bottleneck
+            node = head[slot ^ 1]
+        total_flow += bottleneck
+
+    # Min cut: nodes reachable in the residual graph form the source side.
+    source_side = np.zeros(node_count, dtype=bool)
+    if total_flow != float("inf"):
+        source_side[source] = True
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for slot in adjacency[node]:
+                neighbor = head[slot]
+                if not source_side[neighbor] and capacity[slot] > 1e-15:
+                    source_side[neighbor] = True
+                    queue.append(neighbor)
+
+    cut_edges = [
+        index
+        for index, (u, v, _) in enumerate(edges)
+        if source_side[u] and not source_side[v]
+    ]
+    return MaxFlowResult(total_flow, cut_edges, source_side)
+
+
+__all__ = ["FlowEdge", "MaxFlowResult", "max_flow"]

@@ -1,0 +1,28 @@
+"""Recursion-limit guard for the divide-and-conquer estimators."""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from typing import Iterator
+
+
+@contextlib.contextmanager
+def recursion_limit(minimum: int) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit to ``minimum``.
+
+    The recursive estimators' include chains can be as deep as the DFS path
+    they explore; chain-shaped graphs would otherwise crash CPython mid-query.
+    The previous limit is restored on exit, even on exception.
+    """
+    previous = sys.getrecursionlimit()
+    if previous < minimum:
+        sys.setrecursionlimit(minimum)
+    try:
+        yield
+    finally:
+        if previous < minimum:
+            sys.setrecursionlimit(previous)
+
+
+__all__ = ["recursion_limit"]

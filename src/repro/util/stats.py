@@ -1,0 +1,112 @@
+"""Statistics helpers shared by the convergence framework and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RunningMoments:
+    """Welford accumulator for mean/variance without storing samples.
+
+    Used where an experiment streams many per-pair estimates and only the
+    first two moments are reported (paper Eqs. 11-13).
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``n - 1`` denominator, 0 if n < 2)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+
+def mean_and_variance(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and unbiased variance of ``values`` (Eq. 11 of the paper)."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("mean_and_variance requires at least one value")
+    if array.size == 1:
+        return float(array[0]), 0.0
+    return float(array.mean()), float(array.var(ddof=1))
+
+
+def dispersion_index(variance: float, mean: float) -> float:
+    """Index of dispersion ``variance / mean`` (paper's rho_K).
+
+    A mean of zero (reliability exactly 0 in all repeats) has zero variance
+    too; the paper treats that point as converged, so we return 0.0.
+    """
+    if mean == 0.0:
+        return 0.0
+    return variance / mean
+
+
+def binomial_variance(reliability: float, samples: int) -> float:
+    """Theoretical MC estimator variance ``R(1-R)/K`` (paper Eq. 4)."""
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    return reliability * (1.0 - reliability) / samples
+
+
+def chernoff_sample_bound(
+    reliability: float, epsilon: float = 0.1, failure: float = 0.05
+) -> int:
+    """Chernoff bound on #samples for an (epsilon, failure) guarantee (Eq. 5).
+
+    ``K >= 3 / (eps^2 R) * ln(2 / lambda)`` ensures the relative error of the
+    MC estimate exceeds ``epsilon`` with probability at most ``failure``.
+    """
+    if not 0.0 < reliability <= 1.0:
+        raise ValueError(f"reliability must be in (0, 1], got {reliability}")
+    if not 0.0 < epsilon:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < failure < 1.0:
+        raise ValueError(f"failure must be in (0, 1), got {failure}")
+    bound = 3.0 / (epsilon**2 * reliability) * np.log(2.0 / failure)
+    return int(np.ceil(bound))
+
+
+def pairwise_deviation(relative_errors: Sequence[float]) -> float:
+    """Mean absolute pairwise deviation D of relative errors (paper Eq. 15).
+
+    The paper normalises by ``5 * 6`` for six estimators, i.e. by
+    ``k * (k - 1)`` — the number of ordered pairs — which this generalises.
+    """
+    errors = np.asarray(relative_errors, dtype=np.float64)
+    k = errors.size
+    if k < 2:
+        return 0.0
+    diffs = np.abs(errors[:, None] - errors[None, :])
+    return float(diffs.sum() / (k * (k - 1)))
+
+
+__all__ = [
+    "RunningMoments",
+    "mean_and_variance",
+    "dispersion_index",
+    "binomial_variance",
+    "chernoff_sample_bound",
+    "pairwise_deviation",
+]

@@ -1,0 +1,39 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate an edge probability in ``(0, 1]`` and return it as float.
+
+    Zero-probability edges are rejected: under possible-world semantics they
+    can never exist, so the caller should simply omit them (this mirrors the
+    paper's definition P : E -> (0, 1]).
+    """
+    probability = float(value)
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return probability
+
+
+def check_node(node: int, node_count: int, name: str = "node") -> int:
+    """Validate a dense node id against the graph size."""
+    index = int(node)
+    if not 0 <= index < node_count:
+        raise ValueError(
+            f"{name} {node!r} out of range for graph with {node_count} nodes"
+        )
+    return index
+
+
+def check_positive(value: Any, name: str) -> int:
+    """Validate a strictly positive integer parameter (e.g. sample counts)."""
+    number = int(value)
+    if number <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return number
+
+
+__all__ = ["check_probability", "check_node", "check_positive"]

@@ -1,0 +1,69 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.graph import UncertainGraph
+
+
+@pytest.fixture
+def diamond_graph() -> UncertainGraph:
+    """0 -> {1, 2} -> 3: two disjoint 2-hop paths.
+
+    Exact reliability 0->3: 1 - (1 - 0.5*0.5)(1 - 0.5*0.5) = 0.4375.
+    """
+    edges = [
+        (0, 1, 0.5),
+        (0, 2, 0.5),
+        (1, 3, 0.5),
+        (2, 3, 0.5),
+    ]
+    return UncertainGraph(4, edges)
+
+
+@pytest.fixture
+def chain_graph() -> UncertainGraph:
+    """0 -> 1 -> 2 -> 3, each edge 0.8; exact reliability 0->3 = 0.512."""
+    return UncertainGraph(4, [(0, 1, 0.8), (1, 2, 0.8), (2, 3, 0.8)])
+
+
+@pytest.fixture
+def toy_paper_graph() -> UncertainGraph:
+    """The 3-node chain of the paper's Example 1 (Fig. 4)."""
+    return UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.5)])
+
+
+def random_graph(
+    seed: int,
+    node_count: int = 8,
+    edge_probability: float = 0.3,
+    low: float = 0.1,
+    high: float = 0.9,
+) -> UncertainGraph:
+    """Deterministic small random digraph for cross-checking estimators."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (u, v, float(rng.uniform(low, high)))
+        for u in range(node_count)
+        for v in range(node_count)
+        if u != v and rng.random() < edge_probability
+    ]
+    return UncertainGraph(node_count, edges)
+
+
+# Hypothesis strategy: a small random uncertain graph as raw parts, built
+# inside the test so shrinking stays effective.
+small_graph_parts = st.integers(min_value=2, max_value=7).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            max_size=12,
+        ),
+    )
+)

@@ -1,0 +1,66 @@
+"""Tests for the shared Estimator contract (validation, edge cases)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.base import Estimator, QueryStatistics
+from repro.core.graph import UncertainGraph
+from repro.core.registry import PAPER_ESTIMATORS, create_estimator
+
+
+@pytest.fixture(params=PAPER_ESTIMATORS + ["lp"])
+def any_estimator(request, diamond_graph):
+    return create_estimator(request.param, diamond_graph, seed=0)
+
+
+class TestEstimatorContract:
+    def test_source_equals_target_is_one(self, any_estimator):
+        assert any_estimator.estimate(1, 1, 10) == 1.0
+
+    def test_estimate_in_unit_interval(self, any_estimator):
+        value = any_estimator.estimate(0, 3, 100)
+        assert 0.0 <= value <= 1.0
+
+    def test_disconnected_target_is_zero(self, any_estimator):
+        # Node 3 has no out-edges in the diamond; 3 -> 0 is impossible.
+        assert any_estimator.estimate(3, 0, 100) == 0.0
+
+    def test_invalid_source_rejected(self, any_estimator):
+        with pytest.raises(ValueError):
+            any_estimator.estimate(-1, 3, 10)
+
+    def test_invalid_target_rejected(self, any_estimator):
+        with pytest.raises(ValueError):
+            any_estimator.estimate(0, 99, 10)
+
+    def test_invalid_samples_rejected(self, any_estimator):
+        with pytest.raises(ValueError):
+            any_estimator.estimate(0, 3, 0)
+
+    def test_rng_override_reproducible(self, any_estimator):
+        a = any_estimator.estimate(0, 3, 200, rng=np.random.default_rng(5))
+        b = any_estimator.estimate(0, 3, 200, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_memory_bytes_positive(self, any_estimator):
+        any_estimator.estimate(0, 3, 50)
+        assert any_estimator.memory_bytes() > 0
+
+    def test_query_statistics_populated(self, any_estimator):
+        any_estimator.estimate(0, 3, 50)
+        stats = any_estimator.last_query_statistics
+        assert isinstance(stats, QueryStatistics)
+        assert stats.samples_requested == 50
+
+    def test_repr_mentions_class(self, any_estimator):
+        assert type(any_estimator).__name__ in repr(any_estimator)
+
+
+class TestQueryStatistics:
+    def test_merge_accumulates(self):
+        a = QueryStatistics(samples_requested=10, edges_probed=5, recursion_depth=2)
+        b = QueryStatistics(samples_requested=3, edges_probed=7, recursion_depth=4)
+        a.merge(b)
+        assert a.samples_requested == 13
+        assert a.edges_probed == 12
+        assert a.recursion_depth == 4

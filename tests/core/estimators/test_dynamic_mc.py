@@ -1,0 +1,89 @@
+"""Tests for the Dynamic MC (BMC) variant of recursive sampling.
+
+Paper §2.4 credits Zhu et al.'s Dynamic MC as "a very similar algorithm" to
+RHH: the same divide-and-conquer, but branch budgets drawn per-sample
+(binomial) instead of split proportionally.  The key property to verify is
+the paper's variance story: proportional allocation *reduces* variance,
+binomial allocation matches plain MC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.estimators.recursive_rhh import (
+    DynamicMCEstimator,
+    RecursiveSamplingEstimator,
+)
+from repro.core.exact import reliability_exact
+from repro.core.registry import create_estimator
+from tests.conftest import random_graph
+
+
+class TestAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        estimator = DynamicMCEstimator(diamond_graph, seed=0)
+        estimates = [
+            estimator.estimate(0, 3, 2_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(0.4375, abs=0.02)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_exact_on_random_graphs(self, seed):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = DynamicMCEstimator(graph, seed=seed)
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.025)
+
+    def test_registered(self, diamond_graph):
+        estimator = create_estimator("dynamic_mc", diamond_graph, seed=0)
+        assert estimator.display_name == "DynamicMC"
+        value = estimator.estimate(0, 3, 500)
+        assert 0.0 <= value <= 1.0
+
+
+class TestVarianceStory:
+    """Proportional RHH < Dynamic MC ~ plain MC in variance (paper §2.4)."""
+
+    @staticmethod
+    def _variance(estimator, samples=150, runs=400):
+        estimates = np.array(
+            [
+                estimator.estimate(0, 3, samples, rng=np.random.default_rng(i))
+                for i in range(runs)
+            ]
+        )
+        return float(estimates.var(ddof=1))
+
+    def test_proportional_beats_binomial(self, diamond_graph):
+        rhh = RecursiveSamplingEstimator(diamond_graph)
+        bmc = DynamicMCEstimator(diamond_graph)
+        assert self._variance(rhh) < self._variance(bmc)
+
+    def test_binomial_close_to_plain_mc(self, diamond_graph):
+        bmc = DynamicMCEstimator(diamond_graph)
+        mc = MonteCarloEstimator(diamond_graph)
+        bmc_variance = self._variance(bmc)
+        mc_variance = self._variance(mc)
+        # Same statistical family: variances agree within estimation noise.
+        assert bmc_variance == pytest.approx(mc_variance, rel=0.5)
+
+
+class TestAllocationParameter:
+    def test_invalid_allocation_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            RecursiveSamplingEstimator(diamond_graph, allocation="psychic")
+
+    def test_explicit_binomial_equals_dynamic_mc_class(self, diamond_graph):
+        by_param = RecursiveSamplingEstimator(
+            diamond_graph, allocation="binomial"
+        )
+        by_class = DynamicMCEstimator(diamond_graph)
+        a = by_param.estimate(0, 3, 500, rng=np.random.default_rng(4))
+        b = by_class.estimate(0, 3, 500, rng=np.random.default_rng(4))
+        assert a == b

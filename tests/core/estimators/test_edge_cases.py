@@ -1,0 +1,160 @@
+"""Failure-injection and edge-case tests across all estimators.
+
+The six estimators must agree not only on typical graphs but on the
+degenerate shapes real data contains: certain edges, stars, parallel-edge
+inputs, repeated interleaved queries, and budgets far exceeding the world
+count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import UncertainGraph
+from repro.core.registry import PAPER_ESTIMATORS, create_estimator
+
+ALL_KEYS = PAPER_ESTIMATORS + ["lp"]
+
+
+def make(key, graph, **options):
+    if key == "rss":
+        options.setdefault("stratum_edges", 3)
+    return create_estimator(key, graph, seed=0, **options)
+
+
+@pytest.fixture(params=ALL_KEYS)
+def key(request):
+    """Every estimator, including the deliberately biased original LP."""
+    return request.param
+
+
+@pytest.fixture(params=PAPER_ESTIMATORS)
+def unbiased_key(request):
+    """Only the unbiased estimators — for accuracy assertions (the
+    uncorrected LP overestimates by design; that is Fig. 5's point)."""
+    return request.param
+
+
+class TestCertainGraphs:
+    def test_all_edges_certain(self, key):
+        graph = UncertainGraph(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]
+        )
+        estimator = make(key, graph)
+        assert estimator.estimate(0, 3, 200) == 1.0
+
+    def test_certain_cycle(self, key):
+        edges = [(i, (i + 1) % 5, 1.0) for i in range(5)]
+        graph = UncertainGraph(5, edges)
+        estimator = make(key, graph)
+        assert estimator.estimate(0, 4, 100) == 1.0
+
+    def test_near_certain_long_chain(self, key):
+        graph = UncertainGraph(30, [(i, i + 1, 0.999) for i in range(29)])
+        estimator = make(key, graph)
+        value = estimator.estimate(0, 29, 500)
+        assert value > 0.9
+
+
+class TestStarGraphs:
+    def test_out_star_leaf_reliability(self, unbiased_key):
+        graph = UncertainGraph(6, [(0, leaf, 0.4) for leaf in range(1, 6)])
+        estimator = make(unbiased_key, graph)
+        values = [
+            estimator.estimate(0, 3, 2_000, rng=np.random.default_rng(i))
+            for i in range(5)
+        ]
+        assert np.mean(values) == pytest.approx(0.4, abs=0.05)
+
+    def test_in_star_source_is_leaf(self, unbiased_key):
+        graph = UncertainGraph(6, [(leaf, 0, 0.4) for leaf in range(1, 6)])
+        estimator = make(unbiased_key, graph)
+        value = estimator.estimate(3, 0, 2_000, rng=np.random.default_rng(0))
+        assert value == pytest.approx(0.4, abs=0.05)
+
+    def test_leaf_to_leaf_is_zero(self, key):
+        graph = UncertainGraph(6, [(0, leaf, 0.9) for leaf in range(1, 6)])
+        estimator = make(key, graph)
+        assert estimator.estimate(1, 2, 300) == 0.0
+
+
+class TestParallelAndLoopInputs:
+    def test_parallel_edges_merged_before_estimation(self, unbiased_key):
+        # Two parallel 0.5 edges OR-merge to 0.75.
+        graph = UncertainGraph(2, [(0, 1, 0.5), (0, 1, 0.5)])
+        estimator = make(unbiased_key, graph)
+        values = [
+            estimator.estimate(0, 1, 2_000, rng=np.random.default_rng(i))
+            for i in range(5)
+        ]
+        assert np.mean(values) == pytest.approx(0.75, abs=0.04)
+
+    def test_self_loops_ignored(self, unbiased_key):
+        graph = UncertainGraph(3, [(0, 0, 0.9), (0, 1, 0.6), (1, 1, 0.9)])
+        estimator = make(unbiased_key, graph)
+        values = [
+            estimator.estimate(0, 1, 2_000, rng=np.random.default_rng(i))
+            for i in range(5)
+        ]
+        assert np.mean(values) == pytest.approx(0.6, abs=0.04)
+
+
+class TestQueryIsolation:
+    def test_interleaved_pairs_do_not_leak_state(self, key, diamond_graph):
+        estimator = make(key, diamond_graph)
+        first_a = estimator.estimate(0, 3, 400, rng=np.random.default_rng(1))
+        estimator.estimate(1, 3, 400, rng=np.random.default_rng(2))
+        estimator.estimate(3, 0, 400, rng=np.random.default_rng(3))
+        second_a = estimator.estimate(0, 3, 400, rng=np.random.default_rng(1))
+        assert first_a == second_a
+
+    def test_many_sequential_queries_stay_bounded(self, key, diamond_graph):
+        estimator = make(key, diamond_graph)
+        for run in range(20):
+            value = estimator.estimate(
+                0, 3, 100, rng=np.random.default_rng(run)
+            )
+            assert 0.0 <= value <= 1.0
+
+    def test_prepare_is_idempotent(self, key, diamond_graph):
+        estimator = make(key, diamond_graph)
+        estimator.prepare()
+        estimator.prepare()
+        value = estimator.estimate(0, 3, 200, rng=np.random.default_rng(0))
+        assert 0.0 <= value <= 1.0
+
+
+class TestExtremeBudgets:
+    def test_single_sample(self, key, diamond_graph):
+        estimator = make(key, diamond_graph)
+        value = estimator.estimate(0, 3, 1, rng=np.random.default_rng(0))
+        assert 0.0 <= value <= 1.0
+
+    def test_budget_exceeding_world_count(self, unbiased_key):
+        # 2 edges -> 4 worlds; K = 500 must still work and be accurate.
+        graph = UncertainGraph(3, [(0, 1, 0.7), (1, 2, 0.7)])
+        estimator = make(unbiased_key, graph)
+        values = [
+            estimator.estimate(0, 2, 500, rng=np.random.default_rng(i))
+            for i in range(8)
+        ]
+        assert np.mean(values) == pytest.approx(0.49, abs=0.05)
+
+
+class TestTinyProbabilities:
+    def test_near_impossible_edge(self, key):
+        graph = UncertainGraph(2, [(0, 1, 1e-9)])
+        estimator = make(key, graph)
+        assert estimator.estimate(0, 1, 500) == pytest.approx(0.0, abs=0.01)
+
+    def test_mixed_magnitudes(self, unbiased_key):
+        # NetHEPT-style: probabilities spanning two orders of magnitude.
+        graph = UncertainGraph(
+            4, [(0, 1, 0.001), (0, 2, 0.1), (1, 3, 0.9), (2, 3, 0.1)]
+        )
+        estimator = make(unbiased_key, graph)
+        exact = 1 - (1 - 0.001 * 0.9) * (1 - 0.1 * 0.1)
+        values = [
+            estimator.estimate(0, 3, 3_000, rng=np.random.default_rng(i))
+            for i in range(6)
+        ]
+        assert np.mean(values) == pytest.approx(exact, abs=0.01)

@@ -1,0 +1,133 @@
+"""Tests for lazy propagation: LP+ correctness and LP's documented bug."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.lazy_propagation import (
+    LazyPropagationEstimator,
+    LazyPropagationOriginal,
+)
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph
+
+
+@pytest.fixture(params=["array", "heap"])
+def engine(request) -> str:
+    return request.param
+
+
+class TestLpPlusAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph, engine):
+        estimator = LazyPropagationEstimator(diamond_graph, engine=engine, seed=0)
+        estimate = estimator.estimate(0, 3, 30_000)
+        assert estimate == pytest.approx(0.4375, abs=0.015)
+
+    def test_matches_exact_on_chain(self, chain_graph, engine):
+        estimator = LazyPropagationEstimator(chain_graph, engine=engine, seed=1)
+        estimate = estimator.estimate(0, 3, 30_000)
+        assert estimate == pytest.approx(0.8**3, abs=0.015)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_exact_on_random_graphs(self, seed, engine):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = LazyPropagationEstimator(graph, engine=engine, seed=seed)
+        estimate = estimator.estimate(0, 7, 20_000)
+        assert estimate == pytest.approx(exact, abs=0.025)
+
+    def test_statistically_equivalent_to_mc(self, diamond_graph, engine):
+        # Paper §2.6: "no statistical difference between lazy sampling and
+        # classic MC" — compare means over repeated small-K runs.
+        lp = LazyPropagationEstimator(diamond_graph, engine=engine)
+        mc = MonteCarloEstimator(diamond_graph)
+        lp_mean = np.mean(
+            [lp.estimate(0, 3, 100, rng=np.random.default_rng(i)) for i in range(200)]
+        )
+        mc_mean = np.mean(
+            [
+                mc.estimate(0, 3, 100, rng=np.random.default_rng(1000 + i))
+                for i in range(200)
+            ]
+        )
+        assert lp_mean == pytest.approx(mc_mean, abs=0.02)
+
+    def test_probability_one_edges_supported(self, engine):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        estimator = LazyPropagationEstimator(graph, engine=engine, seed=0)
+        estimate = estimator.estimate(0, 2, 20_000)
+        assert estimate == pytest.approx(0.5, abs=0.02)
+
+
+class TestLpBug:
+    """The uncorrected LP must overestimate (paper Fig. 5, Example 1)."""
+
+    def test_lp_overestimates_on_revisited_structure(self):
+        # A graph whose hub is expanded in every sample maximises the
+        # early-fire error: hub -> many medium-probability edges.
+        rng = np.random.default_rng(7)
+        edges = [(0, v, 0.4) for v in range(1, 8)]
+        edges += [(v, 8, 0.4) for v in range(1, 8)]
+        graph = UncertainGraph(9, edges)
+        exact = reliability_exact(graph, 0, 8)
+        lp = LazyPropagationOriginal(graph, engine="array", seed=0)
+        estimates = [
+            lp.estimate(0, 8, 1_000, rng=np.random.default_rng(i)) for i in range(10)
+        ]
+        assert np.mean(estimates) > exact + 0.03
+
+    def test_lp_plus_does_not_overestimate_same_structure(self):
+        edges = [(0, v, 0.4) for v in range(1, 8)]
+        edges += [(v, 8, 0.4) for v in range(1, 8)]
+        graph = UncertainGraph(9, edges)
+        exact = reliability_exact(graph, 0, 8)
+        lp_plus = LazyPropagationEstimator(graph, engine="array", seed=0)
+        estimates = [
+            lp_plus.estimate(0, 8, 1_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.02)
+
+    def test_lp_key_and_display_name(self, diamond_graph):
+        lp = LazyPropagationOriginal(diamond_graph)
+        assert lp.key == "lp"
+        assert lp.display_name == "LP"
+        lp_plus = LazyPropagationEstimator(diamond_graph)
+        assert lp_plus.key == "lp_plus"
+        assert lp_plus.display_name == "LP+"
+
+    def test_lp_heap_engine_terminates_with_probability_one_edge(self):
+        # The published algorithm would loop forever here; the pop cap must
+        # keep the implementation finite.
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        lp = LazyPropagationOriginal(graph, engine="heap", seed=0)
+        assert lp.estimate(0, 2, 100) == 1.0
+
+
+class TestEngineParity:
+    def test_engines_agree_in_distribution(self, diamond_graph):
+        array = LazyPropagationEstimator(diamond_graph, engine="array")
+        heap = LazyPropagationEstimator(diamond_graph, engine="heap")
+        array_mean = np.mean(
+            [
+                array.estimate(0, 3, 200, rng=np.random.default_rng(i))
+                for i in range(150)
+            ]
+        )
+        heap_mean = np.mean(
+            [
+                heap.estimate(0, 3, 200, rng=np.random.default_rng(500 + i))
+                for i in range(150)
+            ]
+        )
+        assert array_mean == pytest.approx(heap_mean, abs=0.02)
+
+    def test_invalid_engine_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            LazyPropagationEstimator(diamond_graph, engine="quantum")
+
+    def test_probes_counted(self, diamond_graph, engine):
+        estimator = LazyPropagationEstimator(diamond_graph, engine=engine, seed=0)
+        estimator.estimate(0, 3, 100)
+        assert estimator.last_query_statistics.edges_probed > 0

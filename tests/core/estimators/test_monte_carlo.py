@@ -1,0 +1,64 @@
+"""Tests for the MC sampling estimator (the baseline of the study)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.exact import reliability_exact
+from repro.util.stats import binomial_variance
+from tests.conftest import random_graph
+
+
+class TestAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        estimator = MonteCarloEstimator(diamond_graph, seed=0)
+        estimate = estimator.estimate(0, 3, 50_000)
+        assert estimate == pytest.approx(0.4375, abs=0.01)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exact_on_random_graphs(self, seed):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = MonteCarloEstimator(graph, seed=100 + seed)
+        estimate = estimator.estimate(0, 7, 30_000)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_unbiasedness(self, chain_graph):
+        # Mean of many independent small-K estimates converges to exact.
+        exact = 0.8**3
+        estimator = MonteCarloEstimator(chain_graph)
+        estimates = [
+            estimator.estimate(0, 3, 50, rng=np.random.default_rng(i))
+            for i in range(400)
+        ]
+        standard_error = np.sqrt(binomial_variance(exact, 50) / len(estimates))
+        assert np.mean(estimates) == pytest.approx(exact, abs=4 * standard_error)
+
+    def test_empirical_variance_is_binomial(self, chain_graph):
+        # Var = R(1-R)/K (paper Eq. 4).
+        exact = 0.8**3
+        samples = 100
+        estimator = MonteCarloEstimator(chain_graph)
+        estimates = np.array(
+            [
+                estimator.estimate(0, 3, samples, rng=np.random.default_rng(i))
+                for i in range(600)
+            ]
+        )
+        expected = binomial_variance(exact, samples)
+        assert estimates.var(ddof=1) == pytest.approx(expected, rel=0.25)
+
+
+class TestBehaviour:
+    def test_estimate_granularity_is_one_over_k(self, diamond_graph):
+        # A hit-and-miss estimate with K samples is a multiple of 1/K.
+        estimator = MonteCarloEstimator(diamond_graph, seed=3)
+        value = estimator.estimate(0, 3, 7)
+        assert (value * 7) == pytest.approx(round(value * 7))
+
+    def test_certain_path_always_one(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        estimator = MonteCarloEstimator(graph, seed=0)
+        assert estimator.estimate(0, 2, 100) == 1.0

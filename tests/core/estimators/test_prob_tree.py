@@ -1,0 +1,177 @@
+"""Tests for the ProbTree FWD index: structure, losslessness, coupling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.estimators.prob_tree import (
+    ROOT_BAG,
+    FWDProbTreeIndex,
+    ProbTreeEstimator,
+)
+from repro.core.estimators.recursive_rhh import RecursiveSamplingEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph, small_graph_parts
+
+
+class TestIndexStructure:
+    def test_every_node_covered_once_or_in_root(self, diamond_graph):
+        index = FWDProbTreeIndex(diamond_graph)
+        covered = set(index.bag_of_covered)
+        assert covered.isdisjoint(index.root_nodes)
+        assert covered | index.root_nodes == set(range(4))
+
+    def test_bags_have_unique_covered_nodes(self):
+        graph = random_graph(0, node_count=12, edge_probability=0.25)
+        index = FWDProbTreeIndex(graph)
+        covered = [bag.covered for bag in index.bags]
+        assert len(covered) == len(set(covered))
+
+    def test_parents_are_later_bags_or_root(self):
+        graph = random_graph(1, node_count=12, edge_probability=0.25)
+        index = FWDProbTreeIndex(graph)
+        for bag in index.bags:
+            assert bag.parent == ROOT_BAG or bag.parent > bag.bag_id
+
+    def test_chain_decomposes_fully(self):
+        # A path graph is a tree: width-1 eliminations leave a trivial root.
+        graph = UncertainGraph(6, [(i, i + 1, 0.5) for i in range(5)])
+        index = FWDProbTreeIndex(graph)
+        assert len(index.bags) >= 4
+        assert len(index.root_nodes) <= 2
+
+    def test_dense_graph_keeps_core_in_root(self):
+        # A 5-clique (undirected degree 4 > w) cannot be decomposed.
+        edges = [
+            (u, v, 0.5) for u in range(5) for v in range(5) if u != v
+        ]
+        graph = UncertainGraph(5, edges)
+        index = FWDProbTreeIndex(graph)
+        assert len(index.root_nodes) == 5
+        assert not index.bags
+
+    def test_invalid_width_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            FWDProbTreeIndex(diamond_graph, width=3)
+
+    def test_statistics_keys(self, diamond_graph):
+        stats = FWDProbTreeIndex(diamond_graph).statistics()
+        assert {"bags", "height", "root_nodes", "root_edges"} <= set(stats)
+
+    def test_size_bytes_positive(self, diamond_graph):
+        assert FWDProbTreeIndex(diamond_graph).size_bytes() > 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        graph = random_graph(2, node_count=10, edge_probability=0.3)
+        index = FWDProbTreeIndex(graph)
+        path = tmp_path / "probtree.pkl"
+        index.save(path)
+        loaded = FWDProbTreeIndex.load(path, graph)
+        assert len(loaded.bags) == len(index.bags)
+        assert loaded.root_nodes == index.root_nodes
+        assert loaded.root_edges == index.root_edges
+
+
+class TestLosslessness:
+    """The paper's w<=2 claim: the assembled query graph has *exactly* the
+    original graph's s-t reliability."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_query_graph_preserves_reliability(self, seed):
+        graph = random_graph(seed, node_count=7, edge_probability=0.3)
+        index = FWDProbTreeIndex(graph)
+        for source, target in [(0, 6), (1, 5), (6, 0)]:
+            original = reliability_exact(graph, source, target)
+            query_graph, s, t, _ = index.query_graph(source, target)
+            assembled = reliability_exact(query_graph, s, t)
+            assert assembled == pytest.approx(original, abs=1e-9), (
+                f"seed={seed} pair=({source},{target})"
+            )
+
+    def test_chain_lossless(self):
+        graph = UncertainGraph(6, [(i, i + 1, 0.7) for i in range(5)])
+        index = FWDProbTreeIndex(graph)
+        query_graph, s, t, _ = index.query_graph(0, 5)
+        assert reliability_exact(query_graph, s, t) == pytest.approx(0.7**5)
+
+    def test_bidirected_cycle_lossless(self):
+        edges = []
+        for i in range(5):
+            j = (i + 1) % 5
+            edges.append((i, j, 0.6))
+            edges.append((j, i, 0.6))
+        graph = UncertainGraph(5, edges)
+        index = FWDProbTreeIndex(graph)
+        original = reliability_exact(graph, 0, 2)
+        query_graph, s, t, _ = index.query_graph(0, 2)
+        assert reliability_exact(query_graph, s, t) == pytest.approx(
+            original, abs=1e-9
+        )
+
+    @given(small_graph_parts)
+    @settings(max_examples=40, deadline=None)
+    def test_property_losslessness(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        if graph.edge_count > 12:
+            return
+        index = FWDProbTreeIndex(graph)
+        original = reliability_exact(graph, 0, node_count - 1)
+        query_graph, s, t, _ = index.query_graph(0, node_count - 1)
+        assembled = reliability_exact(query_graph, s, t)
+        assert assembled == pytest.approx(original, abs=1e-9)
+
+    def test_query_graph_no_larger_than_original(self):
+        graph = random_graph(3, node_count=14, edge_probability=0.2)
+        index = FWDProbTreeIndex(graph)
+        query_graph, _, _, _ = index.query_graph(0, 13)
+        assert query_graph.node_count <= graph.node_count
+
+
+class TestEstimator:
+    def test_matches_exact(self, diamond_graph):
+        estimator = ProbTreeEstimator(diamond_graph, seed=0)
+        estimate = estimator.estimate(0, 3, 30_000)
+        assert estimate == pytest.approx(0.4375, abs=0.015)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_exact_on_random_graphs(self, seed):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = ProbTreeEstimator(graph, seed=seed)
+        estimate = estimator.estimate(0, 7, 20_000)
+        assert estimate == pytest.approx(exact, abs=0.025)
+
+    def test_coupling_with_rhh(self, diamond_graph):
+        # §3.8: ProbTree + recursive estimators.
+        estimator = ProbTreeEstimator(
+            diamond_graph,
+            estimator_factory=lambda g: RecursiveSamplingEstimator(g),
+            seed=0,
+        )
+        estimate = estimator.estimate(0, 3, 10_000)
+        assert estimate == pytest.approx(0.4375, abs=0.02)
+
+    def test_attach_index(self, diamond_graph):
+        index = FWDProbTreeIndex(diamond_graph)
+        estimator = ProbTreeEstimator(diamond_graph)
+        estimator.attach_index(index)
+        assert estimator.index is index
+
+    def test_attach_foreign_index_rejected(self, diamond_graph, chain_graph):
+        index = FWDProbTreeIndex(chain_graph)
+        estimator = ProbTreeEstimator(diamond_graph)
+        with pytest.raises(ValueError):
+            estimator.attach_index(index)
+
+    def test_memory_includes_index(self, diamond_graph):
+        estimator = ProbTreeEstimator(diamond_graph, seed=0)
+        before = estimator.memory_bytes()
+        estimator.prepare()
+        assert estimator.memory_bytes() > before
+
+    def test_query_statistics_merged_from_inner(self, diamond_graph):
+        estimator = ProbTreeEstimator(diamond_graph, seed=0)
+        estimator.estimate(0, 3, 100)
+        assert estimator.last_query_statistics.samples_requested >= 100

@@ -1,0 +1,118 @@
+"""Tests for recursive sampling (RHH): correctness and variance reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.estimators.recursive_rhh import RecursiveSamplingEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph
+
+
+class TestAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        estimator = RecursiveSamplingEstimator(diamond_graph, seed=0)
+        estimate = estimator.estimate(0, 3, 20_000)
+        assert estimate == pytest.approx(0.4375, abs=0.01)
+
+    def test_matches_exact_on_chain(self, chain_graph):
+        estimator = RecursiveSamplingEstimator(chain_graph, seed=0)
+        estimate = estimator.estimate(0, 3, 20_000)
+        assert estimate == pytest.approx(0.8**3, abs=0.01)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exact_on_random_graphs(self, seed):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = RecursiveSamplingEstimator(graph, seed=seed)
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.02)
+
+    def test_unbiased_with_tiny_probabilities(self):
+        # Stochastic-rounding allocation must stay unbiased when P(e)*K < 1.
+        graph = UncertainGraph(3, [(0, 1, 0.01), (1, 2, 0.9)])
+        exact = 0.009
+        estimator = RecursiveSamplingEstimator(graph)
+        estimates = [
+            estimator.estimate(0, 2, 100, rng=np.random.default_rng(i))
+            for i in range(3_000)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.002)
+
+    def test_probability_one_chain(self):
+        # Certain edges make the include chain deterministic.
+        graph = UncertainGraph(5, [(i, i + 1, 1.0) for i in range(4)])
+        estimator = RecursiveSamplingEstimator(graph, seed=0)
+        assert estimator.estimate(0, 4, 100) == 1.0
+
+
+class TestVarianceReduction:
+    def test_lower_variance_than_mc(self, diamond_graph):
+        # Theorem 2 of Jin et al.: proportional allocation reduces variance.
+        samples = 200
+        rhh = RecursiveSamplingEstimator(diamond_graph)
+        mc = MonteCarloEstimator(diamond_graph)
+        rhh_estimates = np.array(
+            [
+                rhh.estimate(0, 3, samples, rng=np.random.default_rng(i))
+                for i in range(300)
+            ]
+        )
+        mc_estimates = np.array(
+            [
+                mc.estimate(0, 3, samples, rng=np.random.default_rng(5_000 + i))
+                for i in range(300)
+            ]
+        )
+        assert rhh_estimates.var(ddof=1) < mc_estimates.var(ddof=1)
+
+    def test_exhaustive_recursion_is_nearly_exact(self):
+        # With a tiny graph and a deep budget, recursion enumerates almost
+        # everything: single-run estimates land very close to exact.
+        graph = random_graph(1, node_count=6, edge_probability=0.4)
+        exact = reliability_exact(graph, 0, 5)
+        estimator = RecursiveSamplingEstimator(graph, threshold=2)
+        estimates = [
+            estimator.estimate(0, 5, 4_000, rng=np.random.default_rng(i))
+            for i in range(5)
+        ]
+        assert np.std(estimates) < 0.02
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.02)
+
+
+class TestParameters:
+    def test_threshold_validation(self, diamond_graph):
+        with pytest.raises(ValueError):
+            RecursiveSamplingEstimator(diamond_graph, threshold=0)
+
+    def test_large_threshold_degrades_to_mc(self, diamond_graph):
+        # threshold >= K: the fallback fires immediately; behaviour is MC.
+        estimator = RecursiveSamplingEstimator(diamond_graph, threshold=10_000)
+        value = estimator.estimate(0, 3, 500, rng=np.random.default_rng(0))
+        assert estimator.last_query_statistics.fallback_calls == 1
+        assert 0.0 <= value <= 1.0
+
+    def test_recursion_depth_reported(self, diamond_graph):
+        estimator = RecursiveSamplingEstimator(diamond_graph, seed=0)
+        estimator.estimate(0, 3, 1_000)
+        assert estimator.last_query_statistics.recursion_depth >= 1
+
+    def test_state_reset_between_queries(self, diamond_graph):
+        estimator = RecursiveSamplingEstimator(diamond_graph, seed=0)
+        first = estimator.estimate(0, 3, 500, rng=np.random.default_rng(1))
+        second = estimator.estimate(0, 3, 500, rng=np.random.default_rng(1))
+        assert first == second  # identical stream => identical result
+
+    def test_deep_chain_does_not_overflow(self):
+        # Include-chains as long as the graph: the recursion-limit guard
+        # must absorb chain-shaped graphs.
+        length = 1_500
+        graph = UncertainGraph(
+            length + 1, [(i, i + 1, 1.0) for i in range(length)]
+        )
+        estimator = RecursiveSamplingEstimator(graph, seed=0)
+        assert estimator.estimate(0, length, 10) == 1.0

@@ -1,0 +1,120 @@
+"""Tests for recursive stratified sampling (RSS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.estimators.recursive_rss import RecursiveStratifiedEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph
+
+
+class TestAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        estimator = RecursiveStratifiedEstimator(
+            diamond_graph, stratum_edges=2, seed=0
+        )
+        estimate = estimator.estimate(0, 3, 20_000)
+        assert estimate == pytest.approx(0.4375, abs=0.01)
+
+    @pytest.mark.parametrize("stratum_edges", [1, 2, 4, 8])
+    def test_matches_exact_for_any_stratum_count(self, stratum_edges):
+        graph = random_graph(2)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = RecursiveStratifiedEstimator(
+            graph, stratum_edges=stratum_edges
+        )
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.025)
+
+    def test_r_larger_than_edges_falls_back_to_mc(self, diamond_graph):
+        # |E| < r: Alg. 5 line 2 requires the non-recursive fallback.
+        estimator = RecursiveStratifiedEstimator(
+            diamond_graph, stratum_edges=50, seed=0
+        )
+        value = estimator.estimate(0, 3, 500)
+        assert estimator.last_query_statistics.fallback_calls == 1
+        assert 0.0 <= value <= 1.0
+
+    def test_unbiased_with_tiny_probabilities(self):
+        graph = UncertainGraph(3, [(0, 1, 0.01), (1, 2, 0.9)])
+        exact = 0.009
+        estimator = RecursiveStratifiedEstimator(graph, stratum_edges=1)
+        estimates = [
+            estimator.estimate(0, 2, 100, rng=np.random.default_rng(i))
+            for i in range(3_000)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.002)
+
+    def test_certain_path_short_circuits(self):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.1)])
+        estimator = RecursiveStratifiedEstimator(graph, stratum_edges=2, seed=0)
+        assert estimator.estimate(0, 2, 100) == 1.0
+
+
+class TestStratumDesign:
+    def test_stratum_masses_partition_unity(self):
+        # Table 1: pi_0 + sum_i pi_i = 1 for any probabilities.
+        probabilities = np.array([0.3, 0.8, 0.05, 0.5])
+        absent_prefix = np.concatenate(
+            ([1.0], np.cumprod(1.0 - probabilities))
+        )
+        masses = np.empty(len(probabilities) + 1)
+        masses[0] = absent_prefix[-1]
+        masses[1:] = probabilities * absent_prefix[:-1]
+        assert masses.sum() == pytest.approx(1.0)
+        assert (masses >= 0).all()
+
+    def test_lower_variance_than_mc(self, diamond_graph):
+        # Theorems 4.2/4.3 of Li et al.
+        samples = 200
+        rss = RecursiveStratifiedEstimator(diamond_graph, stratum_edges=2)
+        mc = MonteCarloEstimator(diamond_graph)
+        rss_estimates = np.array(
+            [
+                rss.estimate(0, 3, samples, rng=np.random.default_rng(i))
+                for i in range(300)
+            ]
+        )
+        mc_estimates = np.array(
+            [
+                mc.estimate(0, 3, samples, rng=np.random.default_rng(7_000 + i))
+                for i in range(300)
+            ]
+        )
+        assert rss_estimates.var(ddof=1) < mc_estimates.var(ddof=1)
+
+    def test_probability_one_selected_edge(self):
+        # A certain edge in the stratum set: strata forcing it absent have
+        # zero mass and must be skipped without error.
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        estimator = RecursiveStratifiedEstimator(graph, stratum_edges=2)
+        estimates = [
+            estimator.estimate(0, 2, 500, rng=np.random.default_rng(i))
+            for i in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(0.5, abs=0.05)
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            RecursiveStratifiedEstimator(diamond_graph, stratum_edges=0)
+        with pytest.raises(ValueError):
+            RecursiveStratifiedEstimator(diamond_graph, threshold=0)
+
+    def test_recursion_depth_reported(self):
+        graph = random_graph(4, node_count=10, edge_probability=0.35)
+        estimator = RecursiveStratifiedEstimator(graph, stratum_edges=3, seed=0)
+        estimator.estimate(0, 9, 2_000)
+        assert estimator.last_query_statistics.recursion_depth >= 1
+
+    def test_reproducible_with_same_stream(self, diamond_graph):
+        estimator = RecursiveStratifiedEstimator(diamond_graph, stratum_edges=2)
+        a = estimator.estimate(0, 3, 500, rng=np.random.default_rng(3))
+        b = estimator.estimate(0, 3, 500, rng=np.random.default_rng(3))
+        assert a == b

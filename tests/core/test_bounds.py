@@ -1,0 +1,102 @@
+"""Tests for the polynomial-time reliability bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    min_cut_upper_bound,
+    most_reliable_path,
+    reliability_bounds,
+)
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph, small_graph_parts
+
+
+class TestMostReliablePath:
+    def test_chain(self, chain_graph):
+        bound = most_reliable_path(chain_graph, 0, 3)
+        assert bound.probability == pytest.approx(0.8**3)
+        assert bound.path == (0, 1, 2, 3)
+
+    def test_picks_more_reliable_detour(self):
+        # Direct edge 0.1 vs two-hop 0.9 * 0.9 = 0.81.
+        graph = UncertainGraph(
+            3, [(0, 2, 0.1), (0, 1, 0.9), (1, 2, 0.9)]
+        )
+        bound = most_reliable_path(graph, 0, 2)
+        assert bound.probability == pytest.approx(0.81)
+        assert bound.path == (0, 1, 2)
+
+    def test_unreachable(self):
+        graph = UncertainGraph(3, [(0, 1, 0.5)])
+        bound = most_reliable_path(graph, 0, 2)
+        assert bound.probability == 0.0
+        assert bound.path == ()
+
+    def test_source_equals_target(self, diamond_graph):
+        bound = most_reliable_path(diamond_graph, 1, 1)
+        assert bound.probability == 1.0
+        assert bound.path == (1,)
+
+    def test_certain_edges(self):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert most_reliable_path(graph, 0, 2).probability == 1.0
+
+
+class TestMinCutUpperBound:
+    def test_single_edge(self):
+        graph = UncertainGraph(2, [(0, 1, 0.37)])
+        bound = min_cut_upper_bound(graph, 0, 1)
+        assert bound.probability == pytest.approx(0.37)
+        assert bound.cut == ((0, 1),)
+
+    def test_chain_uses_one_link(self, chain_graph):
+        bound = min_cut_upper_bound(chain_graph, 0, 3)
+        assert bound.probability == pytest.approx(0.8)
+        assert len(bound.cut) == 1
+
+    def test_diamond_cut(self, diamond_graph):
+        # Any cut needs two edges of probability 0.5:
+        # bound = 1 - 0.5^2 = 0.75.
+        bound = min_cut_upper_bound(diamond_graph, 0, 3)
+        assert bound.probability == pytest.approx(0.75)
+        assert len(bound.cut) == 2
+
+    def test_unreachable_gives_zero(self):
+        graph = UncertainGraph(3, [(0, 1, 0.5)])
+        bound = min_cut_upper_bound(graph, 0, 2)
+        assert bound.probability == 0.0
+
+    def test_certain_path_gives_trivial_bound(self):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        bound = min_cut_upper_bound(graph, 0, 2)
+        assert bound.probability == 1.0
+        assert bound.cut == ()
+
+
+class TestBracketing:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds_bracket_exact(self, seed):
+        graph = random_graph(seed, node_count=7, edge_probability=0.35)
+        exact = reliability_exact(graph, 0, 6)
+        lower, upper = reliability_bounds(graph, 0, 6)
+        assert lower - 1e-9 <= exact <= upper + 1e-9, (lower, exact, upper)
+
+    @given(small_graph_parts)
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounds_bracket_exact(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        if graph.edge_count > 12:
+            return
+        exact = reliability_exact(graph, 0, node_count - 1)
+        lower, upper = reliability_bounds(graph, 0, node_count - 1)
+        assert lower - 1e-9 <= exact <= upper + 1e-9
+
+    def test_bounds_tight_on_single_path(self):
+        # For a simple path both bounds coincide with the exact value.
+        graph = UncertainGraph(4, [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7)])
+        lower, upper = reliability_bounds(graph, 0, 3)
+        assert lower == pytest.approx(0.9 * 0.8 * 0.7)
+        assert upper == pytest.approx(0.7)  # weakest link

@@ -1,0 +1,108 @@
+"""Tests for the exact reliability oracles (enumeration vs factoring)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import (
+    reliability_by_enumeration,
+    reliability_by_factoring,
+    reliability_exact,
+)
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph, small_graph_parts
+
+
+class TestClosedForms:
+    def test_series_chain(self, chain_graph):
+        expected = 0.8**3
+        assert reliability_by_enumeration(chain_graph, 0, 3) == pytest.approx(expected)
+        assert reliability_by_factoring(chain_graph, 0, 3) == pytest.approx(expected)
+
+    def test_parallel_paths(self, diamond_graph):
+        expected = 1 - (1 - 0.25) ** 2
+        assert reliability_by_enumeration(diamond_graph, 0, 3) == pytest.approx(
+            expected
+        )
+        assert reliability_by_factoring(diamond_graph, 0, 3) == pytest.approx(expected)
+
+    def test_single_edge(self):
+        graph = UncertainGraph(2, [(0, 1, 0.37)])
+        assert reliability_exact(graph, 0, 1) == pytest.approx(0.37)
+
+    def test_source_equals_target(self, diamond_graph):
+        assert reliability_by_enumeration(diamond_graph, 2, 2) == 1.0
+        assert reliability_by_factoring(diamond_graph, 2, 2) == 1.0
+
+    def test_unreachable_is_zero(self):
+        graph = UncertainGraph(3, [(0, 1, 0.9)])
+        assert reliability_by_enumeration(graph, 0, 2) == 0.0
+        assert reliability_by_factoring(graph, 0, 2) == 0.0
+
+    def test_direction_matters(self, chain_graph):
+        assert reliability_by_factoring(chain_graph, 3, 0) == 0.0
+
+    def test_bridge_graph(self):
+        # Wheatstone bridge: classic two-terminal reliability example.
+        edges = [
+            (0, 1, 0.9),
+            (0, 2, 0.8),
+            (1, 2, 0.7),  # bridge
+            (1, 3, 0.6),
+            (2, 3, 0.5),
+        ]
+        graph = UncertainGraph(4, edges)
+        enum = reliability_by_enumeration(graph, 0, 3)
+        fact = reliability_by_factoring(graph, 0, 3)
+        assert enum == pytest.approx(fact)
+
+
+class TestGuards:
+    def test_enumeration_refuses_large_graphs(self):
+        edges = [(i, i + 1, 0.5) for i in range(30)]
+        graph = UncertainGraph(31, edges)
+        with pytest.raises(ValueError):
+            reliability_by_enumeration(graph, 0, 30)
+
+    def test_factoring_depth_guard(self):
+        edges = [(i, i + 1, 0.5) for i in range(30)]
+        graph = UncertainGraph(31, edges)
+        with pytest.raises(RecursionError):
+            reliability_by_factoring(graph, 0, 30, max_depth=3)
+
+    def test_exact_dispatch_small_uses_enumeration(self, diamond_graph):
+        assert reliability_exact(diamond_graph, 0, 3) == pytest.approx(0.4375)
+
+    def test_exact_dispatch_large_uses_factoring(self):
+        edges = [(i, i + 1, 0.9) for i in range(20)]
+        graph = UncertainGraph(21, edges)
+        assert reliability_exact(graph, 0, 20) == pytest.approx(0.9**20)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_enumeration_equals_factoring_random(self, seed):
+        graph = random_graph(seed, node_count=5, edge_probability=0.4)
+        if graph.edge_count > 16:
+            pytest.skip("graph too large for enumeration")
+        enum = reliability_by_enumeration(graph, 0, 4)
+        fact = reliability_by_factoring(graph, 0, 4)
+        assert enum == pytest.approx(fact, abs=1e-12)
+
+    @given(small_graph_parts)
+    @settings(max_examples=40, deadline=None)
+    def test_property_enumeration_equals_factoring(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        if graph.edge_count > 12:
+            return
+        enum = reliability_by_enumeration(graph, 0, node_count - 1)
+        fact = reliability_by_factoring(graph, 0, node_count - 1)
+        assert enum == pytest.approx(fact, abs=1e-12)
+
+    @given(small_graph_parts)
+    @settings(max_examples=30, deadline=None)
+    def test_reliability_is_a_probability(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        value = reliability_by_factoring(graph, 0, node_count - 1)
+        assert 0.0 <= value <= 1.0

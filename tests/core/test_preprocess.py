@@ -1,0 +1,145 @@
+"""Tests for certain-edge contraction (lossless preprocessing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from repro.core.preprocess import (
+    certain_edge_fraction,
+    contract_certain_edges,
+)
+
+
+class TestCertainSccContraction:
+    def test_certain_cycle_collapses(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 0.5)]
+        contraction = contract_certain_edges(UncertainGraph(4, edges))
+        assert contraction.component_count == 2
+        s, t = contraction.map_pair(0, 2)
+        assert s == t  # same certain component
+
+    def test_one_way_certain_edge_not_collapsed(self):
+        # A certain edge without a certain path back is not an SCC.
+        graph = UncertainGraph(2, [(0, 1, 1.0)])
+        contraction = contract_certain_edges(graph)
+        assert contraction.component_count == 2
+        assert contraction.graph.edge_probability(
+            *contraction.map_pair(0, 1)
+        ) == pytest.approx(1.0)
+
+    def test_bidirected_certain_pair_collapses(self):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 0.4)])
+        contraction = contract_certain_edges(graph)
+        assert contraction.component_count == 2
+        s, t = contraction.map_pair(0, 1)
+        assert s == t
+
+    def test_no_certain_edges_is_identity_shape(self, diamond_graph):
+        contraction = contract_certain_edges(diamond_graph)
+        assert contraction.component_count == diamond_graph.node_count
+        assert contraction.graph.edge_count == diamond_graph.edge_count
+
+    def test_parallel_cross_edges_or_merged(self):
+        # Two nodes merge; their parallel edges to node 3 combine.
+        edges = [
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (0, 2, 0.5),
+            (1, 2, 0.5),
+        ]
+        contraction = contract_certain_edges(UncertainGraph(3, edges))
+        s, t = contraction.map_pair(0, 2)
+        assert contraction.graph.edge_probability(s, t) == pytest.approx(0.75)
+
+
+class TestReliabilityPreservation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_reliability_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        edges = []
+        for u in range(7):
+            for v in range(7):
+                if u != v and rng.random() < 0.3:
+                    # A third of the edges certain: contraction has work.
+                    p = 1.0 if rng.random() < 0.33 else float(rng.uniform(0.2, 0.9))
+                    edges.append((u, v, p))
+        graph = UncertainGraph(7, edges)
+        contraction = contract_certain_edges(graph)
+        s, t = contraction.map_pair(0, 6)
+        original = reliability_exact(graph, 0, 6)
+        if s == t:
+            assert original == pytest.approx(1.0)
+        else:
+            contracted = reliability_exact(contraction.graph, s, t)
+            assert contracted == pytest.approx(original, abs=1e-9)
+
+    def test_estimator_agrees_on_contracted_graph(self):
+        edges = [
+            (0, 1, 1.0), (1, 0, 1.0),  # certain pair
+            (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.2),
+        ]
+        graph = UncertainGraph(4, edges)
+        contraction = contract_certain_edges(graph)
+        s, t = contraction.map_pair(0, 3)
+        mc_full = MonteCarloEstimator(graph, seed=0)
+        mc_small = MonteCarloEstimator(contraction.graph, seed=0)
+        full = mc_full.estimate(0, 3, 40_000, rng=np.random.default_rng(1))
+        small = mc_small.estimate(s, t, 40_000, rng=np.random.default_rng(2))
+        assert small == pytest.approx(full, abs=0.01)
+
+    @given(
+        st.integers(min_value=2, max_value=6).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, n - 1),
+                        st.integers(0, n - 1),
+                        st.sampled_from([1.0, 1.0, 0.3, 0.6, 0.9]),
+                    ),
+                    max_size=10,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_contraction_preserves_reliability(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        if graph.edge_count > 12:
+            return
+        contraction = contract_certain_edges(graph)
+        target = node_count - 1
+        original = reliability_exact(graph, 0, target)
+        s, t = contraction.map_pair(0, target)
+        if s == t:
+            assert original == pytest.approx(1.0)
+        else:
+            contracted = reliability_exact(contraction.graph, s, t)
+            assert contracted == pytest.approx(original, abs=1e-9)
+
+
+class TestCertainEdgeFraction:
+    def test_fraction(self):
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        assert certain_edge_fraction(graph) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        assert certain_edge_fraction(UncertainGraph(2, [])) == 0.0
+
+    def test_inverse_out_degree_model_can_produce_certain_edges(self):
+        # The real LastFM's degree-1 users get probability exactly 1 under
+        # the inverse-out-degree model (our analogue's generator keeps
+        # minimum degree 2, so its graphs happen to avoid them).
+        from repro.datasets.edge_probability import inverse_out_degree
+
+        sources = np.array([0, 1, 1])  # node 0 has out-degree 1
+        probs = inverse_out_degree(sources, 2)
+        graph = UncertainGraph(
+            3, [(0, 1, probs[0]), (1, 0, probs[1]), (1, 2, probs[2])]
+        )
+        assert certain_edge_fraction(graph) == pytest.approx(1 / 3)

@@ -1,0 +1,114 @@
+"""Tests for the estimator registry and recommendation API."""
+
+import pytest
+
+from repro.core.estimators.base import Estimator
+from repro.core.recommend import (
+    INDEX_STAR_RATINGS,
+    STAR_RATINGS,
+    overall_recommendation,
+    recommend_estimator,
+)
+from repro.core.registry import (
+    PAPER_ESTIMATORS,
+    create_estimator,
+    display_name,
+    estimator_class,
+    estimator_keys,
+    register_estimator,
+)
+
+
+class TestRegistry:
+    def test_paper_estimators_has_six(self):
+        assert len(PAPER_ESTIMATORS) == 6
+
+    def test_all_keys_resolvable(self):
+        for key in estimator_keys():
+            assert issubclass(estimator_class(key), Estimator)
+
+    def test_uncorrected_lp_registered_but_not_default(self):
+        assert "lp" in estimator_keys()
+        assert "lp" not in PAPER_ESTIMATORS
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            estimator_class("bogus")
+
+    def test_create_with_options(self, diamond_graph):
+        estimator = create_estimator("rhh", diamond_graph, threshold=7)
+        assert estimator.threshold == 7
+
+    def test_display_names_match_paper(self):
+        expected = {"mc": "MC", "bfs_sharing": "BFSSharing", "prob_tree": "ProbTree",
+                    "lp_plus": "LP+", "rhh": "RHH", "rss": "RSS"}
+        for key, name in expected.items():
+            assert display_name(key) == name
+
+    def test_register_custom_estimator(self, diamond_graph):
+        class Constant(Estimator):
+            key = "constant_test"
+            display_name = "Constant"
+
+            def _estimate(self, source, target, samples, rng):
+                return 0.5
+
+        register_estimator(Constant)
+        estimator = create_estimator("constant_test", diamond_graph)
+        assert estimator.estimate(0, 3, 10) == 0.5
+        # Re-registering the same class is idempotent.
+        register_estimator(Constant)
+
+    def test_register_conflicting_key_rejected(self):
+        class Fake(Estimator):
+            key = "mc"
+            display_name = "Fake"
+
+            def _estimate(self, source, target, samples, rng):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            register_estimator(Fake)
+
+    def test_register_empty_key_rejected(self):
+        class NoKey(Estimator):
+            def _estimate(self, source, target, samples, rng):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            register_estimator(NoKey)
+
+
+class TestRecommendation:
+    def test_star_ratings_cover_all_six(self):
+        assert set(STAR_RATINGS) == set(PAPER_ESTIMATORS)
+
+    def test_index_ratings_cover_indexed_methods(self):
+        assert set(INDEX_STAR_RATINGS) == {"bfs_sharing", "prob_tree"}
+
+    def test_overall_recommendation_is_probtree(self):
+        assert overall_recommendation() == "prob_tree"
+
+    def test_memory_limited_fast_branch(self):
+        rec = recommend_estimator(memory_limited=True, want_fastest=True)
+        assert rec.estimators[0] == "prob_tree"
+        assert "lp_plus" in rec.estimators
+
+    def test_memory_limited_slow_branch(self):
+        rec = recommend_estimator(memory_limited=True, want_fastest=False)
+        assert rec.estimators == ("mc",)
+
+    def test_large_memory_low_variance(self):
+        rec = recommend_estimator(
+            memory_limited=False, want_lowest_variance=True
+        )
+        assert set(rec.estimators) == {"rss", "rhh"}
+
+    def test_large_memory_default(self):
+        rec = recommend_estimator(memory_limited=False)
+        assert rec.estimators == ("bfs_sharing",)
+
+    def test_path_is_human_readable(self):
+        rec = recommend_estimator(memory_limited=True)
+        assert any("Memory" in step for step in rec.path)
+        assert "=>" in str(rec)

@@ -1,0 +1,104 @@
+"""Tests for the per-dataset edge-probability models (paper §3.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.edge_probability import (
+    NETHEPT_CHOICES,
+    biomine_composite,
+    exponential_cdf,
+    inverse_out_degree,
+    snapshot_ratio,
+    uniform_choice,
+)
+
+
+class TestInverseOutDegree:
+    def test_values(self):
+        sources = np.array([0, 0, 0, 1])
+        probs = inverse_out_degree(sources, 2)
+        np.testing.assert_allclose(probs, [1 / 3, 1 / 3, 1 / 3, 1.0])
+
+    def test_degree_one_gives_certain_edge(self):
+        probs = inverse_out_degree(np.array([5]), 6)
+        assert probs[0] == 1.0
+
+    def test_all_probabilities_valid(self):
+        rng = np.random.default_rng(0)
+        sources = rng.integers(0, 50, size=500)
+        probs = inverse_out_degree(sources, 50)
+        assert ((probs > 0) & (probs <= 1)).all()
+
+
+class TestUniformChoice:
+    def test_values_from_choices(self):
+        probs = uniform_choice(1_000, rng=0)
+        assert set(np.unique(probs)) <= set(NETHEPT_CHOICES)
+
+    def test_roughly_uniform(self):
+        probs = uniform_choice(30_000, rng=1)
+        for choice in NETHEPT_CHOICES:
+            fraction = (probs == choice).mean()
+            assert fraction == pytest.approx(1 / 3, abs=0.02)
+
+    def test_custom_choices(self):
+        probs = uniform_choice(100, choices=(0.5,), rng=0)
+        assert (probs == 0.5).all()
+
+
+class TestSnapshotRatio:
+    def test_range(self):
+        probs = snapshot_ratio(10_000, rng=0)
+        assert probs.min() >= 1 / 120
+        assert probs.max() <= 1.0
+
+    def test_moments_match_paper(self):
+        probs = snapshot_ratio(100_000, rng=1)
+        assert probs.mean() == pytest.approx(0.23, abs=0.03)
+        assert probs.std() == pytest.approx(0.20, abs=0.03)
+
+    def test_granularity(self):
+        # Ratios are multiples of 1/snapshots.
+        snapshots = 50
+        probs = snapshot_ratio(1_000, snapshots=snapshots, rng=2)
+        scaled = probs * snapshots
+        np.testing.assert_allclose(scaled, np.round(scaled))
+
+
+class TestExponentialCdf:
+    def test_paper_anchor_points(self):
+        # mu=5: one collaboration ~ 0.18, two ~ 0.33, three ~ 0.45 (Table 2).
+        probs = exponential_cdf(np.array([1, 2, 3]), mu=5.0)
+        np.testing.assert_allclose(probs, [0.181, 0.330, 0.451], atol=0.002)
+
+    def test_mu_20_gives_smaller_probabilities(self):
+        counts = np.array([1, 2, 3])
+        low = exponential_cdf(counts, mu=20.0)
+        high = exponential_cdf(counts, mu=5.0)
+        assert (low < high).all()
+
+    def test_monotone_in_counts(self):
+        probs = exponential_cdf(np.arange(1, 50), mu=5.0)
+        assert (np.diff(probs) > 0).all()
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            exponential_cdf(np.array([1]), mu=0.0)
+
+
+class TestBiomineComposite:
+    def test_range(self):
+        degrees = np.random.default_rng(0).integers(2, 100, size=5_000)
+        probs = biomine_composite(5_000, degrees, rng=1)
+        assert ((probs > 0) & (probs <= 1)).all()
+
+    def test_high_degree_edges_less_probable(self):
+        # Informativeness penalises hub edges on average.
+        low = biomine_composite(20_000, np.full(20_000, 6), rng=2)
+        high = biomine_composite(20_000, np.full(20_000, 500), rng=2)
+        assert high.mean() < low.mean()
+
+    def test_mean_in_paper_ballpark(self):
+        degrees = np.random.default_rng(3).integers(5, 60, size=50_000)
+        probs = biomine_composite(50_000, degrees, rng=4)
+        assert probs.mean() == pytest.approx(0.27, abs=0.06)

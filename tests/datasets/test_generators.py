@@ -1,0 +1,134 @@
+"""Tests for the synthetic topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    collaboration_counts,
+    heterogeneous_hub_graph,
+    powerlaw_cluster,
+    preferential_attachment,
+)
+
+
+def undirected_degrees(edges, node_count):
+    degrees = np.zeros(node_count, dtype=np.int64)
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    return degrees
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self):
+        n, attach = 200, 2
+        edges = preferential_attachment(n, attach, rng=0)
+        seed_edges = attach * (attach + 1) // 2
+        assert len(edges) == seed_edges + (n - attach - 1) * attach
+
+    def test_connected(self):
+        edges = preferential_attachment(100, 2, rng=1)
+        # Union-find connectivity check.
+        parent = list(range(100))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in edges:
+            parent[find(u)] = find(v)
+        assert len({find(x) for x in range(100)}) == 1
+
+    def test_power_law_tail(self):
+        edges = preferential_attachment(2_000, 2, rng=2)
+        degrees = undirected_degrees(edges, 2_000)
+        # Hubs exist: the max degree dwarfs the mean (heavy tail).
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_no_self_loops_or_duplicate_attach(self):
+        edges = preferential_attachment(300, 3, rng=3)
+        assert all(u != v for u, v in edges)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(2, 2)
+
+    def test_deterministic(self):
+        assert preferential_attachment(50, 2, rng=9) == preferential_attachment(
+            50, 2, rng=9
+        )
+
+
+class TestPowerlawCluster:
+    def test_no_duplicate_edges(self):
+        edges = powerlaw_cluster(300, 2, 0.5, rng=0)
+        normalised = {tuple(sorted(edge)) for edge in edges}
+        assert len(normalised) == len(edges)
+
+    def test_no_self_loops(self):
+        edges = powerlaw_cluster(300, 2, 0.5, rng=1)
+        assert all(u != v for u, v in edges)
+
+    def test_triadic_closure_raises_clustering(self):
+        # Triangle count with closure >> without.
+        def triangles(edges, n):
+            adjacency = [set() for _ in range(n)]
+            for u, v in edges:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            count = 0
+            for u, v in edges:
+                count += len(adjacency[u] & adjacency[v])
+            return count
+
+        n = 800
+        clustered = triangles(powerlaw_cluster(n, 3, 0.9, rng=2), n)
+        plain = triangles(powerlaw_cluster(n, 3, 0.0, rng=2), n)
+        assert clustered > 1.5 * plain
+
+    def test_invalid_triangle_probability(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 2, 1.5)
+
+
+class TestHeterogeneousHubGraph:
+    def test_directed_edges_distinct(self):
+        edges = heterogeneous_hub_graph(300, 4.0, rng=0)
+        assert len(set(edges)) == len(edges)
+
+    def test_average_out_degree(self):
+        n = 500
+        edges = heterogeneous_hub_graph(n, 5.0, rng=1)
+        assert len(edges) >= n * 5.0
+        assert len(edges) <= n * 5.0 + 2 * n  # straggler connections bounded
+
+    def test_every_node_touched(self):
+        n = 300
+        edges = heterogeneous_hub_graph(n, 3.0, rng=2)
+        touched = np.zeros(n, dtype=bool)
+        for u, v in edges:
+            touched[u] = True
+            touched[v] = True
+        assert touched.all()
+
+    def test_hubs_dominate_degree(self):
+        n = 1_000
+        edges = heterogeneous_hub_graph(n, 5.0, hub_boost=50.0, rng=3)
+        degrees = undirected_degrees(edges, n)
+        assert degrees.max() > 10 * degrees.mean()
+
+
+class TestCollaborationCounts:
+    def test_support_is_positive(self):
+        counts = collaboration_counts(10_000, 2.5, rng=0)
+        assert counts.min() >= 1
+
+    def test_mean(self):
+        counts = collaboration_counts(100_000, 2.5, rng=1)
+        assert counts.mean() == pytest.approx(2.5, rel=0.05)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            collaboration_counts(10, 0.5)

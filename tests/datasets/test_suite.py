@@ -1,0 +1,106 @@
+"""Tests for the six-dataset suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.suite import (
+    DATASET_KEYS,
+    DATASETS,
+    SCALES,
+    dataset_table,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_six_datasets_in_paper_order(self):
+        assert DATASET_KEYS == [
+            "lastfm",
+            "nethept",
+            "as_topology",
+            "dblp02",
+            "dblp005",
+            "biomine",
+        ]
+        assert set(DATASETS) == set(DATASET_KEYS)
+
+    def test_scales_defined_for_all(self):
+        for spec in DATASETS.values():
+            assert set(spec.nodes_by_scale) == set(SCALES)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("lastfm", scale="galactic")
+
+
+class TestGeneratedGraphs:
+    @pytest.mark.parametrize("key", DATASET_KEYS)
+    def test_tiny_scale_builds(self, key):
+        dataset = load_dataset(key, "tiny", seed=0)
+        spec = DATASETS[key]
+        assert dataset.graph.node_count == spec.nodes_by_scale["tiny"]
+        assert dataset.graph.edge_count > 0
+
+    @pytest.mark.parametrize("key", DATASET_KEYS)
+    def test_probabilities_valid(self, key):
+        graph = load_dataset(key, "tiny", seed=0).graph
+        assert ((graph.probs > 0) & (graph.probs <= 1)).all()
+
+    def test_deterministic_and_cached(self):
+        a = load_dataset("lastfm", "tiny", seed=0)
+        b = load_dataset("lastfm", "tiny", seed=0)
+        assert a is b  # cache hit
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("lastfm", "tiny", seed=0).graph
+        b = load_dataset("lastfm", "tiny", seed=1).graph
+        assert a != b
+
+    def test_nethept_probabilities_from_choices(self):
+        graph = load_dataset("nethept", "tiny", seed=0).graph
+        assert set(np.unique(graph.probs)) <= {0.1, 0.01, 0.001}
+
+    def test_lastfm_is_bidirected(self):
+        graph = load_dataset("lastfm", "tiny", seed=0).graph
+        for u, v, _ in list(graph.iter_edges())[:50]:
+            assert graph.edge_probability(v, u) is not None
+
+    def test_dblp_variants_share_topology(self):
+        g02 = load_dataset("dblp02", "tiny", seed=0).graph
+        g005 = load_dataset("dblp005", "tiny", seed=0).graph
+        assert g02.node_count == g005.node_count
+        assert g02.edge_count == g005.edge_count
+        np.testing.assert_array_equal(g02.targets, g005.targets)
+        # Same counts, different mu: 0.05 probabilities strictly smaller.
+        assert (g005.probs < g02.probs).all()
+
+    def test_biomine_is_directed(self):
+        graph = load_dataset("biomine", "tiny", seed=0).graph
+        asymmetric = sum(
+            1
+            for u, v, _ in list(graph.iter_edges())[:100]
+            if graph.edge_probability(v, u) is None
+        )
+        assert asymmetric > 0
+
+
+class TestDatasetTable:
+    def test_rows_cover_all_datasets(self):
+        rows = dataset_table("tiny", seed=0)
+        assert [row["dataset"] for row in rows] == [
+            "LastFM",
+            "NetHEPT",
+            "AS Topology",
+            "DBLP 0.2",
+            "DBLP 0.05",
+            "BioMine",
+        ]
+
+    def test_rows_carry_paper_reference(self):
+        rows = dataset_table("tiny", seed=0)
+        assert rows[0]["paper_nodes"] == "6899"
+        assert "0.29" in rows[0]["paper_probabilities"]

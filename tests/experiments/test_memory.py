@@ -1,0 +1,54 @@
+"""Tests for memory accounting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.memory import format_bytes, traced_peak_bytes
+
+
+class TestTracedPeak:
+    def test_returns_result(self):
+        result, peak = traced_peak_bytes(lambda: 42)
+        assert result == 42
+        assert peak >= 0
+
+    def test_allocation_measured(self):
+        def allocate():
+            return np.zeros(1_000_000, dtype=np.float64)
+
+        _, peak = traced_peak_bytes(allocate)
+        assert peak >= 8_000_000
+
+    def test_nested_tracing(self):
+        def outer():
+            _, inner_peak = traced_peak_bytes(lambda: np.zeros(100_000))
+            return inner_peak
+
+        inner_peak, _ = traced_peak_bytes(outer)
+        assert inner_peak >= 800_000
+
+    def test_exception_stops_tracing(self):
+        import tracemalloc
+
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            traced_peak_bytes(boom)
+        assert not tracemalloc.is_tracing()
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, "0.0 B"),
+            (512, "512.0 B"),
+            (2048, "2.0 KiB"),
+            (3 * 1024**2, "3.0 MiB"),
+            (5 * 1024**3, "5.0 GiB"),
+            (3000 * 1024**3, "3000.0 GiB"),
+        ],
+    )
+    def test_units(self, size, expected):
+        assert format_bytes(size) == expected

@@ -1,0 +1,71 @@
+"""Tests for the plain-text table/series renderers."""
+
+from repro.experiments.report import (
+    format_dict_rows,
+    format_series,
+    format_table,
+    stars,
+)
+
+
+class TestFormatTable:
+    def test_contains_title_and_cells(self):
+        text = format_table("My Table", ["a", "b"], [["1", "22"], ["333", "4"]])
+        assert "My Table" in text
+        assert "333" in text
+
+    def test_columns_aligned(self):
+        text = format_table("T", ["col", "x"], [["verylongcell", "1"]])
+        lines = text.splitlines()
+        header, row = lines[2], lines[4]
+        # Second column starts at the same offset in header and body.
+        assert header.index("x") == row.index("1")
+
+    def test_empty_rows(self):
+        text = format_table("Empty", ["a"], [])
+        assert "Empty" in text
+
+
+class TestFormatDictRows:
+    def test_selects_columns(self):
+        rows = [{"a": "1", "b": "2", "ignored": "zzz"}]
+        text = format_dict_rows("T", rows, ["a", "b"])
+        assert "zzz" not in text
+        assert "1" in text
+
+    def test_missing_keys_blank(self):
+        text = format_dict_rows("T", [{"a": "1"}], ["a", "b"])
+        assert "1" in text
+
+    def test_custom_headers(self):
+        text = format_dict_rows("T", [{"a": "1"}], ["a"], headers=["Alpha"])
+        assert "Alpha" in text
+
+
+class TestFormatSeries:
+    def test_rows_per_x_value(self):
+        text = format_series(
+            "Fig", "K", [250, 500], {"MC": [0.1, 0.2], "RSS": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert any(line.startswith("250") for line in lines)
+        assert any(line.startswith("500") for line in lines)
+
+    def test_missing_values_dashed(self):
+        text = format_series("Fig", "K", [1, 2], {"MC": [0.5]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_series("Fig", "K", [1], {"MC": [0.123456789]}, "{:.2f}")
+        assert "0.12" in text
+
+
+class TestStars:
+    def test_full_and_empty(self):
+        assert stars(4) == "****"
+        assert stars(0) == "...."
+        assert stars(2) == "**.."
+
+    def test_clamped(self):
+        assert stars(9) == "****"
+        assert stars(-3) == "...."

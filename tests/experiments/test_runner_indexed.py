@@ -1,0 +1,66 @@
+"""Study-runner integration with the index-based estimators.
+
+Verifies the options the runner injects for BFS Sharing (capacity covering
+the K grid, per-query refresh for inter-query independence) and that
+ProbTree's offline phase is timed separately, end-to-end on a tiny study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.convergence import ConvergenceCriterion
+from repro.experiments.runner import StudyConfig, build_estimator, run_study
+
+
+@pytest.fixture(scope="module")
+def indexed_study():
+    config = StudyConfig(
+        dataset="lastfm",
+        scale="tiny",
+        pair_count=3,
+        repeats=3,
+        criterion=ConvergenceCriterion(k_start=100, k_step=200, k_max=300),
+        estimators=("mc", "bfs_sharing", "prob_tree"),
+        seed=1,
+    )
+    return run_study(config)
+
+
+class TestIndexedStudy:
+    def test_all_estimators_measured(self, indexed_study):
+        assert set(indexed_study.results) == {"mc", "bfs_sharing", "prob_tree"}
+
+    def test_prepare_time_positive_for_indexed(self, indexed_study):
+        # Index construction must be attributed to the offline phase.
+        assert indexed_study.prepare_seconds["bfs_sharing"] > 0
+        assert indexed_study.prepare_seconds["prob_tree"] > 0
+
+    def test_bfs_sharing_capacity_covers_grid(self, indexed_study):
+        estimator = build_estimator(
+            indexed_study.config, "bfs_sharing", indexed_study.dataset.graph
+        )
+        assert estimator.capacity == 300
+        assert estimator.refresh_per_query is True
+
+    def test_bfs_sharing_variance_nonzero_with_refresh(self, indexed_study):
+        # Without per-query refresh the repeats would be identical and the
+        # variance exactly zero at every K; refresh must prevent that for
+        # at least one measured grid point with nontrivial reliability.
+        points = indexed_study.results["bfs_sharing"].points
+        reliabilities = [p.average_reliability for p in points]
+        variances = [p.average_variance for p in points]
+        if max(reliabilities) > 0.02:
+            assert max(variances) > 0.0
+
+    def test_estimates_agree_across_methods(self, indexed_study):
+        final = {
+            key: result.points[-1].average_reliability
+            for key, result in indexed_study.results.items()
+        }
+        spread = max(final.values()) - min(final.values())
+        assert spread < 0.12, final
+
+    def test_accuracy_rows_include_indexed(self, indexed_study):
+        names = [row["estimator"] for row in indexed_study.accuracy_rows()]
+        assert "BFSSharing" in names
+        assert "ProbTree" in names

@@ -1,0 +1,114 @@
+"""Cross-estimator integration tests.
+
+The paper's fundamental premise: all six estimators are unbiased for the
+same quantity, so with enough samples they agree with the exact reliability
+and with each other — on arbitrary graphs, including the dataset suite's
+synthetic topologies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import reliability_exact
+from repro.core.registry import PAPER_ESTIMATORS, create_estimator
+from repro.datasets.queries import generate_workload
+from repro.datasets.suite import load_dataset
+from tests.conftest import random_graph
+
+ESTIMATOR_OPTIONS = {
+    "bfs_sharing": {"capacity": 4_000, "refresh_per_query": True},
+    "rss": {"stratum_edges": 5},
+}
+
+
+def make(key, graph, seed=0):
+    return create_estimator(key, graph, seed=seed, **ESTIMATOR_OPTIONS.get(key, {}))
+
+
+class TestAgreementWithExact:
+    @pytest.mark.parametrize("key", PAPER_ESTIMATORS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_estimator_matches_exact(self, key, seed):
+        graph = random_graph(seed)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = make(key, graph, seed)
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(run))
+            for run in range(8)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.03), key
+
+
+class TestAgreementOnDatasets:
+    @pytest.mark.parametrize(
+        "dataset_key", ["lastfm", "nethept", "as_topology", "dblp02", "biomine"]
+    )
+    def test_all_estimators_agree_on_tiny_dataset(self, dataset_key):
+        graph = load_dataset(dataset_key, "tiny", seed=0).graph
+        workload = generate_workload(graph, pair_count=3, hop_distance=2, seed=1)
+        source, target = workload.pairs[0]
+        means = {}
+        for key in PAPER_ESTIMATORS:
+            estimator = make(key, graph)
+            estimates = [
+                estimator.estimate(
+                    source, target, 1_500, rng=np.random.default_rng(run)
+                )
+                for run in range(6)
+            ]
+            means[key] = float(np.mean(estimates))
+        spread = max(means.values()) - min(means.values())
+        assert spread < 0.06, means
+
+
+class TestVarianceOrdering:
+    def test_recursive_estimators_have_lower_average_variance(self):
+        """Paper §3.2 finding (1)-(2): RHH/RSS variance < MC-family variance.
+
+        Averaged over pairs like the paper's V_K (Eq. 12); the comparison is
+        between family means with a small tolerance since sample variances
+        of variances are noisy.
+        """
+        graph = load_dataset("dblp02", "tiny", seed=0).graph
+        workload = generate_workload(graph, pair_count=3, hop_distance=2, seed=2)
+        samples = 200
+        repeats = 80
+        variances = {}
+        for key in ("mc", "lp_plus", "rhh", "rss"):
+            estimator = make(key, graph)
+            per_pair = []
+            for pair_index, (source, target) in enumerate(workload):
+                estimates = np.array(
+                    [
+                        estimator.estimate(
+                            source,
+                            target,
+                            samples,
+                            rng=np.random.default_rng(1000 * pair_index + run),
+                        )
+                        for run in range(repeats)
+                    ]
+                )
+                per_pair.append(estimates.var(ddof=1))
+            variances[key] = float(np.mean(per_pair))
+        recursive_family = np.mean([variances["rhh"], variances["rss"]])
+        mc_family = np.mean([variances["mc"], variances["lp_plus"]])
+        assert recursive_family < mc_family, variances
+
+
+class TestProbTreeCouplings:
+    """§3.8: ProbTree composes with any estimator and stays accurate."""
+
+    @pytest.mark.parametrize("inner_key", ["lp_plus", "rhh", "rss"])
+    def test_coupled_probtree_matches_exact(self, inner_key):
+        graph = random_graph(2)
+        exact = reliability_exact(graph, 0, 7)
+        factory = lambda g: make(inner_key, g)
+        estimator = create_estimator(
+            "prob_tree", graph, estimator_factory=factory, seed=0
+        )
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(run))
+            for run in range(8)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.03)

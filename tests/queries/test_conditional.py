@@ -1,0 +1,111 @@
+"""Tests for conditional reliability queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import UncertainGraph
+from repro.queries.conditional import (
+    build_condition,
+    conditional_reliability,
+    failure_impact,
+)
+
+
+class TestBuildCondition:
+    def test_present_and_absent(self, diamond_graph):
+        forced = build_condition(
+            diamond_graph, present_edges=[(0, 1)], absent_edges=[(2, 3)]
+        )
+        # CSR order: (0,1), (0,2), (1,3), (2,3)
+        assert forced[0] == 1
+        assert forced[3] == -1
+        assert forced[1] == 0 and forced[2] == 0
+
+    def test_failed_node_kills_incident_edges(self, diamond_graph):
+        forced = build_condition(diamond_graph, failed_nodes=[1])
+        assert forced[0] == -1  # (0,1) in-edge
+        assert forced[2] == -1  # (1,3) out-edge
+        assert forced[1] == 0
+
+    def test_conflict_rejected(self, diamond_graph):
+        with pytest.raises(ValueError, match="both present and absent"):
+            build_condition(
+                diamond_graph, present_edges=[(0, 1)], absent_edges=[(0, 1)]
+            )
+
+    def test_missing_edge_rejected(self, diamond_graph):
+        with pytest.raises(ValueError, match="not present"):
+            build_condition(diamond_graph, present_edges=[(3, 0)])
+
+
+class TestConditionalReliability:
+    def test_no_condition_equals_plain_reliability(self, diamond_graph):
+        value = conditional_reliability(
+            diamond_graph, 0, 3, samples=40_000, rng=0
+        )
+        assert value == pytest.approx(0.4375, abs=0.01)
+
+    def test_conditioning_on_path_gives_one(self, diamond_graph):
+        value = conditional_reliability(
+            diamond_graph, 0, 3,
+            present_edges=[(0, 1), (1, 3)], samples=300, rng=0,
+        )
+        assert value == 1.0
+
+    def test_conditioning_out_upper_path(self, diamond_graph):
+        # Remaining path: 0 -> 2 -> 3 with probability 0.25.
+        value = conditional_reliability(
+            diamond_graph, 0, 3, absent_edges=[(0, 1)],
+            samples=40_000, rng=1,
+        )
+        assert value == pytest.approx(0.25, abs=0.01)
+
+    def test_failed_intermediate_node(self, diamond_graph):
+        value = conditional_reliability(
+            diamond_graph, 0, 3, failed_nodes=[1], samples=40_000, rng=2
+        )
+        assert value == pytest.approx(0.25, abs=0.01)
+
+    def test_failed_all_intermediates_gives_zero(self, diamond_graph):
+        value = conditional_reliability(
+            diamond_graph, 0, 3, failed_nodes=[1, 2], samples=500, rng=3
+        )
+        assert value == 0.0
+
+    def test_source_equals_target(self, diamond_graph):
+        assert conditional_reliability(diamond_graph, 2, 2, samples=10) == 1.0
+
+    def test_matches_exact_conditional(self):
+        # Chain with a bypass; condition on the bypass edge being down.
+        graph = UncertainGraph(
+            3, [(0, 1, 0.6), (1, 2, 0.7), (0, 2, 0.3)]
+        )
+        value = conditional_reliability(
+            graph, 0, 2, absent_edges=[(0, 2)], samples=40_000, rng=4
+        )
+        assert value == pytest.approx(0.6 * 0.7, abs=0.01)
+
+
+class TestFailureImpact:
+    def test_critical_node_ranked_first(self):
+        # 0 -> 1 -> 3 strong path; 0 -> 2 -> 3 weak path: node 1 failure
+        # hurts much more than node 2 failure.
+        graph = UncertainGraph(
+            4, [(0, 1, 0.9), (1, 3, 0.9), (0, 2, 0.2), (2, 3, 0.2)]
+        )
+        ranking = failure_impact(graph, 0, 3, [1, 2], samples=8_000, rng=0)
+        assert ranking[0][0] == 1
+        assert ranking[0][2] > ranking[1][2]
+
+    def test_endpoints_excluded(self, diamond_graph):
+        ranking = failure_impact(
+            diamond_graph, 0, 3, [0, 1, 3], samples=500, rng=0
+        )
+        assert [node for node, _, _ in ranking] == [1]
+
+    def test_drop_is_nonnegative_in_expectation(self, diamond_graph):
+        ranking = failure_impact(
+            diamond_graph, 0, 3, [1, 2], samples=8_000, rng=1
+        )
+        for _, _, drop in ranking:
+            assert drop > -0.02  # sampling noise only

@@ -1,0 +1,65 @@
+"""Tests for distance-constrained reliability queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import UncertainGraph
+from repro.queries.distance_constrained import (
+    distance_constrained_reliability,
+    distance_profile,
+)
+
+
+class TestDistanceConstrained:
+    def test_too_short_budget_gives_zero(self, chain_graph):
+        # Target is 3 hops away; 2 hops cannot reach it.
+        value = distance_constrained_reliability(
+            chain_graph, 0, 3, distance=2, samples=500, rng=0
+        )
+        assert value == 0.0
+
+    def test_exact_budget_matches_unconstrained(self, chain_graph):
+        value = distance_constrained_reliability(
+            chain_graph, 0, 3, distance=3, samples=30_000, rng=0
+        )
+        assert value == pytest.approx(0.8**3, abs=0.01)
+
+    def test_monotone_in_distance(self):
+        # Direct unreliable edge vs a longer reliable detour.
+        graph = UncertainGraph(
+            4, [(0, 3, 0.2), (0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9)]
+        )
+        short = distance_constrained_reliability(
+            graph, 0, 3, distance=1, samples=20_000, rng=1
+        )
+        long = distance_constrained_reliability(
+            graph, 0, 3, distance=3, samples=20_000, rng=1
+        )
+        assert short == pytest.approx(0.2, abs=0.01)
+        assert long > short + 0.4  # detour adds 0.9^3 ~ 0.73 of mass
+
+    def test_source_equals_target(self, chain_graph):
+        assert (
+            distance_constrained_reliability(chain_graph, 2, 2, 1, 10, rng=0)
+            == 1.0
+        )
+
+    def test_invalid_distance(self, chain_graph):
+        with pytest.raises(ValueError):
+            distance_constrained_reliability(chain_graph, 0, 3, distance=0)
+
+
+class TestDistanceProfile:
+    def test_profile_monotone_and_saturating(self, diamond_graph):
+        profile = distance_profile(
+            diamond_graph, 0, 3, max_distance=4, samples=20_000, rng=2
+        )
+        assert profile.shape == (4,)
+        # d=1: no direct edge -> 0; d>=2: both 2-hop paths -> 0.4375.
+        assert profile[0] == 0.0
+        for d in range(1, 4):
+            assert profile[d] == pytest.approx(0.4375, abs=0.015)
+
+    def test_invalid_max_distance(self, diamond_graph):
+        with pytest.raises(ValueError):
+            distance_profile(diamond_graph, 0, 3, max_distance=0)

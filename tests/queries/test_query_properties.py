@@ -1,0 +1,101 @@
+"""Property-based tests for the advanced query layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import UncertainGraph
+from repro.queries.conditional import conditional_reliability
+from repro.queries.distance_constrained import distance_constrained_reliability
+from repro.queries.top_k import all_reliabilities
+from tests.conftest import small_graph_parts
+
+
+class TestConditionalProperties:
+    @given(small_graph_parts)
+    @settings(max_examples=25, deadline=None)
+    def test_conditioning_all_edges_present_is_deterministic(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        target = node_count - 1
+        edges = [(u, v) for u, v, _ in graph.iter_edges()]
+        value = conditional_reliability(
+            graph, 0, target, present_edges=edges, samples=24, rng=0
+        )
+        # All edges pinned up: reachability is the certain-graph indicator.
+        reachable = graph.bfs_distances(0)[target] >= 0
+        assert value == (1.0 if reachable else 0.0)
+
+    @given(small_graph_parts)
+    @settings(max_examples=25, deadline=None)
+    def test_conditioning_all_edges_absent_gives_zero(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        target = node_count - 1
+        edges = [(u, v) for u, v, _ in graph.iter_edges()]
+        value = conditional_reliability(
+            graph, 0, target, absent_edges=edges, samples=24, rng=0
+        )
+        assert value == 0.0
+
+    @given(small_graph_parts)
+    @settings(max_examples=20, deadline=None)
+    def test_failing_every_other_node_isolates(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        target = node_count - 1
+        if target == 0:
+            return
+        others = [v for v in range(node_count) if v not in (0, target)]
+        value = conditional_reliability(
+            graph, 0, target, failed_nodes=others, samples=64, rng=0
+        )
+        direct = graph.edge_probability(0, target)
+        if direct is None:
+            assert value == 0.0
+        else:
+            assert 0.0 <= value <= 1.0
+
+
+class TestDistanceProperties:
+    @given(small_graph_parts, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_constrained_never_exceeds_unconstrained(self, parts, distance):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        target = node_count - 1
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        constrained = distance_constrained_reliability(
+            graph, 0, target, distance, samples=400, rng=rng_a
+        )
+        unconstrained = distance_constrained_reliability(
+            graph, 0, target, node_count, samples=400, rng=rng_b
+        )
+        # Same RNG stream consumption differs, so compare with slack.
+        assert constrained <= unconstrained + 0.12
+
+
+class TestAllReliabilitiesProperties:
+    @given(small_graph_parts)
+    @settings(max_examples=20, deadline=None)
+    def test_values_are_probabilities_and_source_is_one(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        values = all_reliabilities(graph, 0, samples=64, method="mc", rng=0)
+        assert values.shape == (node_count,)
+        assert ((values >= 0.0) & (values <= 1.0)).all()
+        assert values[0] == 1.0
+
+    @given(small_graph_parts)
+    @settings(max_examples=15, deadline=None)
+    def test_bfs_sharing_and_mc_agree_in_support(self, parts):
+        node_count, triples = parts
+        graph = UncertainGraph(node_count, triples)
+        via_index = all_reliabilities(
+            graph, 0, samples=64, method="bfs_sharing", rng=0
+        )
+        # A node unreachable in the certain graph must score 0 under both.
+        unreachable = graph.bfs_distances(0) < 0
+        assert (via_index[unreachable] == 0.0).all()

@@ -1,0 +1,51 @@
+"""Tests for reliable-set (threshold) queries."""
+
+import pytest
+
+from repro.core.graph import UncertainGraph
+from repro.queries.reliable_set import reliable_set
+
+
+@pytest.fixture
+def star_graph():
+    """Hub 0 with spokes of descending probability."""
+    return UncertainGraph(
+        5, [(0, 1, 0.9), (0, 2, 0.6), (0, 3, 0.3), (0, 4, 0.05)]
+    )
+
+
+class TestReliableSet:
+    def test_threshold_filters(self, star_graph):
+        members = reliable_set(star_graph, 0, threshold=0.5, samples=4_000, rng=0)
+        assert [node for node, _ in members] == [1, 2]
+
+    def test_low_threshold_includes_more(self, star_graph):
+        members = reliable_set(star_graph, 0, threshold=0.02, samples=4_000, rng=0)
+        assert len(members) == 4
+
+    def test_sorted_by_reliability(self, star_graph):
+        members = reliable_set(star_graph, 0, threshold=0.02, samples=4_000, rng=0)
+        values = [value for _, value in members]
+        assert values == sorted(values, reverse=True)
+
+    def test_source_excluded_by_default(self, star_graph):
+        members = reliable_set(star_graph, 0, threshold=0.5, samples=500, rng=0)
+        assert all(node != 0 for node, _ in members)
+
+    def test_source_included_on_request(self, star_graph):
+        members = reliable_set(
+            star_graph, 0, threshold=0.5, samples=500, rng=0, include_source=True
+        )
+        assert members[0] == (0, 1.0)
+
+    def test_mc_method(self, star_graph):
+        members = reliable_set(
+            star_graph, 0, threshold=0.5, samples=4_000, method="mc", rng=0
+        )
+        assert [node for node, _ in members] == [1, 2]
+
+    def test_invalid_threshold(self, star_graph):
+        with pytest.raises(ValueError):
+            reliable_set(star_graph, 0, threshold=0.0)
+        with pytest.raises(ValueError):
+            reliable_set(star_graph, 0, threshold=1.5)

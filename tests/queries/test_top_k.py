@@ -1,0 +1,84 @@
+"""Tests for top-k reliability search (BFS Sharing's original query)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from repro.queries.top_k import all_reliabilities, top_k_reliable_targets
+from tests.conftest import random_graph
+
+
+@pytest.fixture(params=["bfs_sharing", "mc"])
+def method(request):
+    return request.param
+
+
+class TestAllReliabilities:
+    def test_source_reliability_is_one(self, diamond_graph, method):
+        values = all_reliabilities(diamond_graph, 0, samples=400, method=method, rng=0)
+        assert values[0] == 1.0
+
+    def test_matches_exact_per_node(self, method):
+        graph = random_graph(1, node_count=6, edge_probability=0.4)
+        values = all_reliabilities(graph, 0, samples=20_000, method=method, rng=0)
+        for node in range(1, 6):
+            exact = reliability_exact(graph, 0, node)
+            assert values[node] == pytest.approx(exact, abs=0.02), node
+
+    def test_methods_agree(self, diamond_graph):
+        via_index = all_reliabilities(
+            diamond_graph, 0, samples=30_000, method="bfs_sharing", rng=0
+        )
+        via_mc = all_reliabilities(
+            diamond_graph, 0, samples=30_000, method="mc", rng=1
+        )
+        np.testing.assert_allclose(via_index, via_mc, atol=0.02)
+
+    def test_unknown_method_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            all_reliabilities(diamond_graph, 0, method="oracle")
+
+
+class TestTopK:
+    def test_ranking_order(self, method):
+        # 0 -> 1 strong, 0 -> 2 weak, 0 -> 3 via 1 (medium).
+        graph = UncertainGraph(
+            4, [(0, 1, 0.95), (0, 2, 0.1), (1, 3, 0.6)]
+        )
+        ranking = top_k_reliable_targets(
+            graph, 0, k=3, samples=4_000, method=method, rng=0
+        )
+        assert [node for node, _ in ranking] == [1, 3, 2]
+
+    def test_k_truncates(self, diamond_graph, method):
+        ranking = top_k_reliable_targets(
+            diamond_graph, 0, k=2, samples=400, method=method, rng=0
+        )
+        assert len(ranking) == 2
+
+    def test_source_excluded_by_default(self, diamond_graph, method):
+        ranking = top_k_reliable_targets(
+            diamond_graph, 0, k=4, samples=400, method=method, rng=0
+        )
+        assert all(node != 0 for node, _ in ranking)
+
+    def test_source_included_on_request(self, diamond_graph, method):
+        ranking = top_k_reliable_targets(
+            diamond_graph, 0, k=4, samples=400, method=method, rng=0,
+            include_source=True,
+        )
+        assert ranking[0] == (0, 1.0)
+
+    def test_unreached_nodes_scored_zero(self, method):
+        graph = UncertainGraph(4, [(0, 1, 0.9)])  # nodes 2, 3 isolated
+        ranking = top_k_reliable_targets(
+            graph, 0, k=4, samples=400, method=method, rng=0
+        )
+        scores = dict(ranking)
+        assert scores[2] == 0.0
+        assert scores[3] == 0.0
+
+    def test_invalid_k(self, diamond_graph):
+        with pytest.raises(ValueError):
+            top_k_reliable_targets(diamond_graph, 0, k=0)

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEstimate:
+    def test_basic_query(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset", "lastfm",
+                "--scale", "tiny",
+                "--source", "0",
+                "--target", "5",
+                "--samples", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R(0, 5)" in out
+        assert "MC" in out
+
+    def test_method_selection(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset", "lastfm",
+                "--scale", "tiny",
+                "--source", "0",
+                "--target", "5",
+                "--method", "rhh",
+                "--samples", "200",
+            ]
+        )
+        assert code == 0
+        assert "RHH" in capsys.readouterr().out
+
+    def test_deterministic_under_seed(self, capsys):
+        args = [
+            "estimate", "--dataset", "lastfm", "--scale", "tiny",
+            "--source", "0", "--target", "5", "--samples", "200",
+            "--seed", "3",
+        ]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestDatasets:
+    def test_table(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "LastFM" in out
+        assert "BioMine" in out
+
+
+class TestTopK:
+    def test_ranking(self, capsys):
+        code = main(
+            [
+                "topk",
+                "--dataset", "lastfm",
+                "--scale", "tiny",
+                "--source", "0",
+                "-k", "3",
+                "--samples", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-3" in out
+        assert "rank" in out
+
+
+class TestBounds:
+    def test_bracket(self, capsys):
+        code = main(
+            [
+                "bounds",
+                "--dataset", "lastfm",
+                "--scale", "tiny",
+                "--source", "0",
+                "--target", "5",
+            ]
+        )
+        assert code == 0
+        assert "<=" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_memory_limited(self, capsys):
+        assert main(["recommend", "--memory-limited"]) == 0
+        out = capsys.readouterr().out
+        assert "ProbTree" in out
+
+    def test_large_memory_low_variance(self, capsys):
+        assert main(["recommend", "--lowest-variance"]) == 0
+        out = capsys.readouterr().out
+        assert "RSS" in out
+
+
+class TestStudy:
+    def test_mini_study(self, capsys):
+        code = main(
+            [
+                "study",
+                "--dataset", "lastfm",
+                "--scale", "tiny",
+                "--pairs", "2",
+                "--repeats", "2",
+                "--kmax", "500",
+                "--estimators", "mc", "rhh",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Accuracy" in out
+        assert "Running time" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

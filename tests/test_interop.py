@@ -1,0 +1,81 @@
+"""Tests for NetworkX interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from repro.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_directed_graph(self):
+        source = nx.DiGraph()
+        source.add_edge("a", "b", probability=0.5)
+        source.add_edge("b", "c", probability=0.25)
+        graph, node_map = from_networkx(source)
+        assert graph.node_count == 3
+        assert graph.edge_probability(node_map["a"], node_map["b"]) == 0.5
+        assert graph.edge_probability(node_map["b"], node_map["a"]) is None
+
+    def test_undirected_becomes_bidirected(self):
+        source = nx.Graph()
+        source.add_edge(0, 1, probability=0.7)
+        graph, node_map = from_networkx(source)
+        assert graph.edge_probability(node_map[0], node_map[1]) == 0.7
+        assert graph.edge_probability(node_map[1], node_map[0]) == 0.7
+
+    def test_missing_attribute_rejected(self):
+        source = nx.DiGraph()
+        source.add_edge(0, 1)
+        with pytest.raises(ValueError, match="lacks attribute"):
+            from_networkx(source)
+
+    def test_default_probability_fallback(self):
+        source = nx.DiGraph()
+        source.add_edge(0, 1)
+        graph, node_map = from_networkx(source, default_probability=0.4)
+        assert graph.edge_probability(node_map[0], node_map[1]) == 0.4
+
+    def test_custom_attribute(self):
+        source = nx.DiGraph()
+        source.add_edge(0, 1, weight=0.9)
+        graph, node_map = from_networkx(source, probability_attribute="weight")
+        assert graph.edge_probability(node_map[0], node_map[1]) == 0.9
+
+    def test_arbitrary_labels(self):
+        source = nx.DiGraph()
+        source.add_edge(("gene", 7), ("protein", 3), probability=0.6)
+        graph, node_map = from_networkx(source)
+        assert graph.edge_probability(
+            node_map[("gene", 7)], node_map[("protein", 3)]
+        ) == 0.6
+
+    def test_isolated_nodes_preserved(self):
+        source = nx.DiGraph()
+        source.add_nodes_from([0, 1, 2])
+        source.add_edge(0, 1, probability=0.5)
+        graph, _ = from_networkx(source)
+        assert graph.node_count == 3
+
+
+class TestToNetworkx:
+    def test_roundtrip(self, diamond_graph):
+        exported = to_networkx(diamond_graph)
+        back, node_map = from_networkx(exported)
+        # Dense-id graphs map onto themselves.
+        assert back == diamond_graph
+        assert all(node_map[i] == i for i in range(4))
+
+    def test_probability_attribute_set(self, chain_graph):
+        exported = to_networkx(chain_graph)
+        assert exported[0][1]["probability"] == pytest.approx(0.8)
+
+    def test_reliability_consistent_with_networkx_reachability(self):
+        # Certain graph: reliability equals networkx reachability.
+        graph = UncertainGraph(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        exported = to_networkx(graph)
+        reachable = nx.has_path(exported, 0, 2)
+        assert reliability_exact(graph, 0, 2) == float(reachable)
+        assert reliability_exact(graph, 0, 3) == float(nx.has_path(exported, 0, 3))

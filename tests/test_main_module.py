@@ -1,0 +1,27 @@
+"""Smoke test for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+class TestMainModule:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "recommend", "--memory-limited"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "ProbTree" in result.stdout
+
+    def test_help_exits_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "estimate" in result.stdout
+        assert "topk" in result.stdout

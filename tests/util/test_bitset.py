@@ -1,0 +1,116 @@
+"""Tests for packed-bitset kernels (BFS Sharing substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import bitset
+
+
+class TestPackedWords:
+    @pytest.mark.parametrize(
+        "bits,words", [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (1500, 24)]
+    )
+    def test_values(self, bits, words):
+        assert bitset.packed_words(bits) == words
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.packed_words(-1)
+
+
+class TestFullRow:
+    @pytest.mark.parametrize("bits", [1, 7, 64, 65, 100, 128, 250])
+    def test_popcount_equals_bits(self, bits):
+        assert bitset.popcount(bitset.full_row(bits)) == bits
+
+    def test_trailing_bits_are_zero(self):
+        row = bitset.full_row(70)
+        assert not bitset.get_bit(row, 70 % 64 + 64)
+
+
+class TestGetSetBit:
+    def test_roundtrip(self):
+        row = np.zeros(2, dtype=np.uint64)
+        for index in (0, 1, 63, 64, 127):
+            assert not bitset.get_bit(row, index)
+            bitset.set_bit(row, index)
+            assert bitset.get_bit(row, index)
+        assert bitset.popcount(row) == 5
+
+
+class TestSampleBitMatrix:
+    def test_shape(self):
+        probs = np.full(10, 0.5)
+        matrix = bitset.sample_bit_matrix(probs, 130, np.random.default_rng(0))
+        assert matrix.shape == (10, 3)
+
+    def test_probability_zero_and_one_edges(self):
+        probs = np.array([1.0, 1e-9])
+        matrix = bitset.sample_bit_matrix(probs, 256, np.random.default_rng(0))
+        counts = bitset.popcount_rows(matrix)
+        assert counts[0] == 256  # always-present edge
+        assert counts[1] == 0  # essentially never present
+
+    def test_bit_frequencies_match_probabilities(self):
+        probs = np.array([0.1, 0.5, 0.9])
+        bits = 20_000
+        matrix = bitset.sample_bit_matrix(probs, bits, np.random.default_rng(7))
+        frequencies = bitset.popcount_rows(matrix) / bits
+        np.testing.assert_allclose(frequencies, probs, atol=0.02)
+
+    def test_trailing_bits_unset(self):
+        probs = np.full(4, 1.0)
+        bits = 70
+        matrix = bitset.sample_bit_matrix(probs, bits, np.random.default_rng(0))
+        assert (bitset.popcount_rows(matrix) == bits).all()
+
+
+class TestPopcountRows:
+    def test_matches_python_bit_count(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 2**63, size=(5, 4), dtype=np.uint64)
+        expected = [
+            sum(int(word).bit_count() for word in row) for row in matrix
+        ]
+        np.testing.assert_array_equal(bitset.popcount_rows(matrix), expected)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            bitset.popcount_rows(np.zeros(3, dtype=np.uint64))
+
+
+class TestConcatenateRanges:
+    def test_basic(self):
+        starts = np.array([0, 5, 9])
+        ends = np.array([3, 5, 12])
+        np.testing.assert_array_equal(
+            bitset.concatenate_ranges(starts, ends), [0, 1, 2, 9, 10, 11]
+        )
+
+    def test_all_empty(self):
+        starts = np.array([4, 7])
+        ends = np.array([4, 7])
+        assert bitset.concatenate_ranges(starts, ends).size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_concatenation(self, segments):
+        starts = np.array([s for s, _ in segments], dtype=np.int64)
+        ends = starts + np.array([l for _, l in segments], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, e) for s, e in zip(starts, ends)]
+        ) if (ends > starts).any() else np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(
+            bitset.concatenate_ranges(starts, ends), expected
+        )

@@ -1,0 +1,91 @@
+"""Tests for the Edmonds-Karp max-flow / min-cut substrate."""
+
+import numpy as np
+import pytest
+
+from repro.util.flow import max_flow
+
+
+class TestMaxFlowValue:
+    def test_single_edge(self):
+        result = max_flow(2, [(0, 1, 3.5)], 0, 1)
+        assert result.value == pytest.approx(3.5)
+
+    def test_series_bottleneck(self):
+        result = max_flow(3, [(0, 1, 5.0), (1, 2, 2.0)], 0, 2)
+        assert result.value == pytest.approx(2.0)
+
+    def test_parallel_paths_add(self):
+        edges = [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)]
+        result = max_flow(4, edges, 0, 3)
+        assert result.value == pytest.approx(3.0)
+
+    def test_classic_diamond_with_cross_edge(self):
+        edges = [
+            (0, 1, 3.0),
+            (0, 2, 2.0),
+            (1, 2, 1.0),
+            (1, 3, 2.0),
+            (2, 3, 3.0),
+        ]
+        result = max_flow(4, edges, 0, 3)
+        assert result.value == pytest.approx(5.0)
+
+    def test_disconnected_is_zero(self):
+        result = max_flow(3, [(0, 1, 1.0)], 0, 2)
+        assert result.value == 0.0
+        assert result.cut_edges == []
+
+    def test_infinite_capacity_path(self):
+        edges = [(0, 1, float("inf")), (1, 2, float("inf"))]
+        result = max_flow(3, edges, 0, 2)
+        assert result.value == float("inf")
+
+
+class TestMinCut:
+    def test_cut_separates(self):
+        edges = [(0, 1, 5.0), (1, 2, 2.0), (2, 3, 9.0)]
+        result = max_flow(4, edges, 0, 3)
+        assert result.cut_edges == [1]  # the bottleneck edge
+        assert result.source_side[0] and result.source_side[1]
+        assert not result.source_side[3]
+
+    def test_cut_capacity_equals_flow(self):
+        rng = np.random.default_rng(0)
+        edges = [
+            (u, v, float(rng.uniform(0.5, 3.0)))
+            for u in range(6)
+            for v in range(6)
+            if u != v and rng.random() < 0.4
+        ]
+        result = max_flow(6, edges, 0, 5)
+        cut_capacity = sum(edges[i][2] for i in result.cut_edges)
+        assert cut_capacity == pytest.approx(result.value, abs=1e-9)
+
+    def test_cut_edges_cross_partition(self):
+        rng = np.random.default_rng(1)
+        edges = [
+            (u, v, float(rng.uniform(0.5, 3.0)))
+            for u in range(7)
+            for v in range(7)
+            if u != v and rng.random() < 0.35
+        ]
+        result = max_flow(7, edges, 0, 6)
+        for index in result.cut_edges:
+            u, v, _ = edges[index]
+            assert result.source_side[u]
+            assert not result.source_side[v]
+
+
+class TestValidation:
+    def test_same_source_sink_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow(3, [], 1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow(3, [], 0, 5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow(2, [(0, 1, -1.0)], 0, 1)

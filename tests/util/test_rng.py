@@ -1,0 +1,98 @@
+"""Tests for RNG plumbing: determinism, independence, distributions."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    ensure_generator,
+    geometric_skips,
+    spawn_generators,
+    stable_substream,
+)
+
+
+class TestEnsureGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_generator(123).random(5)
+        b = ensure_generator(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        a = ensure_generator(sequence)
+        assert isinstance(a, np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        a = ensure_generator(1).random(5)
+        b = ensure_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.random(3) for g in spawn_generators(5, 3)]
+        second = [g.random(3) for g in spawn_generators(5, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+        assert not np.array_equal(children[0].random(3), children[1].random(3))
+
+
+class TestStableSubstream:
+    def test_same_keys_same_stream(self):
+        a = stable_substream(9, 1, 2, 3).random(4)
+        b = stable_substream(9, 1, 2, 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = stable_substream(9, 1, 2, 3).random(4)
+        b = stable_substream(9, 1, 2, 4).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = stable_substream(9, 1, 2).random(4)
+        b = stable_substream(9, 2, 1).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestGeometricSkips:
+    def test_probability_one_always_zero(self):
+        skips = geometric_skips(np.random.default_rng(0), 1.0, 100)
+        assert (skips == 0).all()
+
+    def test_mean_matches_geometric(self):
+        # E[skips] = (1 - p) / p
+        p = 0.25
+        skips = geometric_skips(np.random.default_rng(0), p, 200_000)
+        assert abs(skips.mean() - (1 - p) / p) < 0.05
+
+    def test_support_is_nonnegative(self):
+        skips = geometric_skips(np.random.default_rng(1), 0.01, 10_000)
+        assert (skips >= 0).all()
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_probability_rejected(self, bad):
+        with pytest.raises(ValueError):
+            geometric_skips(np.random.default_rng(0), bad, 10)

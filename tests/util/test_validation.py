@@ -1,0 +1,41 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.util.validation import check_node, check_positive, check_probability
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [1e-9, 0.5, 1.0])
+    def test_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.0001, float("nan")])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="edge_prob"):
+            check_probability(2.0, name="edge_prob")
+
+
+class TestCheckNode:
+    def test_valid_bounds(self):
+        assert check_node(0, 5) == 0
+        assert check_node(4, 5) == 4
+
+    @pytest.mark.parametrize("node", [-1, 5, 100])
+    def test_out_of_range(self, node):
+        with pytest.raises(ValueError):
+            check_node(node, 5)
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive(3, "samples") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError, match="samples"):
+            check_positive(value, "samples")
