@@ -3,6 +3,7 @@
 Subcommands mirror the library's main entry points:
 
 * ``estimate``   — one s-t reliability query on a suite dataset
+* ``batch``      — a whole query workload through the batch engine
 * ``datasets``   — the Table 2 dataset summary
 * ``topk``       — top-k most reliable targets from a source
 * ``bounds``     — polynomial-time lower/upper bracket for a pair
@@ -15,13 +16,16 @@ All commands are deterministic under ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.bounds import reliability_bounds
 from repro.core.recommend import recommend_estimator
 from repro.core.registry import PAPER_ESTIMATORS, create_estimator, display_name
 from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table, load_dataset
+from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
 from repro.experiments.convergence import ConvergenceCriterion
 from repro.experiments.report import format_dict_rows, format_table
 from repro.experiments.runner import StudyConfig, run_study
@@ -56,6 +60,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method", choices=PAPER_ESTIMATORS + ["lp", "dynamic_mc"], default="mc"
     )
     estimate.add_argument("--samples", "-K", type=int, default=1_000)
+
+    batch = commands.add_parser(
+        "batch", help="answer a query-file workload via the batch engine"
+    )
+    _add_dataset_arguments(batch)
+    batch.add_argument(
+        "--queries", required=True,
+        help="query file: one 's t [K]' per line, or a JSON list of "
+             "[source, target, samples] triples / objects",
+    )
+    batch.add_argument(
+        "--samples", "-K", type=int, default=1_000,
+        help="default K for queries that do not carry one (default: 1000)",
+    )
+    batch.add_argument(
+        "--method", choices=PAPER_ESTIMATORS, default="mc",
+        help="estimator; 'mc' uses the shared-world fast path, the others "
+             "fall back to a per-query loop (default: mc)",
+    )
+    batch.add_argument(
+        "--chunk-size", type=int, default=None,
+        help=f"worlds materialised per streaming step "
+             f"(default: {DEFAULT_CHUNK_SIZE})",
+    )
+    batch.add_argument(
+        "--sequential", action="store_true",
+        help="per-query loop over the same world stream (baseline/oracle)",
+    )
+    batch.add_argument(
+        "--output", default="-",
+        help="write the JSON report here instead of stdout",
+    )
 
     datasets = commands.add_parser("datasets", help="Table 2 dataset summary")
     datasets.add_argument("--scale", choices=SCALES, default="tiny")
@@ -104,7 +140,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--estimators", nargs="+", choices=PAPER_ESTIMATORS,
         default=["mc", "rhh", "rss"],
     )
+    study.add_argument(
+        "--batch", action="store_true",
+        help="submit each repeat's workload as one estimate_batch() call",
+    )
     return parser
+
+
+def _parse_query_file(path: str, default_samples: int) -> List[Tuple[int, int, int]]:
+    """Read a workload file: JSON triples/objects, or 's t [K]' text lines."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    queries: List[Tuple[int, int, int]] = []
+    if stripped.startswith(("[", "{")):
+        loaded = json.loads(stripped)
+        if isinstance(loaded, dict):
+            loaded = [loaded]  # a single unwrapped query object
+        for position, entry in enumerate(loaded):
+            if not isinstance(entry, (list, tuple, dict)):
+                raise ValueError(
+                    f"{path}: entry {position}: expected "
+                    f"[source, target(, samples)] or a query object, "
+                    f"got {entry!r}"
+                )
+            if isinstance(entry, dict):
+                if "source" not in entry or "target" not in entry:
+                    raise ValueError(
+                        f"{path}: entry {position}: query objects need "
+                        f"'source' and 'target' keys, got {entry!r}"
+                    )
+                queries.append(
+                    (
+                        int(entry["source"]),
+                        int(entry["target"]),
+                        int(entry.get("samples", default_samples)),
+                    )
+                )
+            else:
+                parts = [int(part) for part in entry]
+                if len(parts) not in (2, 3):
+                    raise ValueError(
+                        f"{path}: entry {position}: expected "
+                        f"[source, target] or [source, target, samples], "
+                        f"got {entry!r}"
+                    )
+                if len(parts) == 2:
+                    parts.append(default_samples)
+                queries.append((parts[0], parts[1], parts[2]))
+        return queries
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        parts = body.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"{path}:{line_number}: expected 'source target [samples]', "
+                f"got {line!r}"
+            )
+        samples = int(parts[2]) if len(parts) == 3 else default_samples
+        queries.append((int(parts[0]), int(parts[1]), samples))
+    return queries
 
 
 def _command_estimate(args: argparse.Namespace) -> int:
@@ -118,6 +214,67 @@ def _command_estimate(args: argparse.Namespace) -> int:
         f"{display_name(args.method)} on {dataset.title} ({args.scale}): "
         f"R({args.source}, {args.target}) ~= {value:.6f}  [K={args.samples}]"
     )
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, args.scale, args.seed)
+    queries = _parse_query_file(args.queries, args.samples)
+    report = {
+        "dataset": dataset.key,
+        "scale": args.scale,
+        "method": args.method,
+        "seed": args.seed,
+        "query_count": len(queries),
+    }
+    if args.method == "mc":
+        chunk_size = (
+            DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size
+        )
+        engine = BatchEngine(
+            dataset.graph, seed=args.seed, chunk_size=chunk_size
+        )
+        result = (
+            engine.run_sequential(queries)
+            if args.sequential
+            else engine.run(queries)
+        )
+        report["engine"] = {
+            "mode": "sequential" if args.sequential else "shared_worlds",
+            "chunk_size": chunk_size,
+            "worlds_sampled": result.worlds_sampled,
+            "sweeps": result.sweeps,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "seconds": round(result.seconds, 6),
+        }
+        report["results"] = list(result.as_rows())
+    else:
+        if args.sequential or args.chunk_size is not None:
+            raise SystemExit(
+                "repro batch: --sequential and --chunk-size apply only to "
+                "--method mc (the engine fast path); other methods use the "
+                "per-query loop"
+            )
+        estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
+        estimator.prepare()
+        estimates = estimator.estimate_batch(queries, seed=args.seed)
+        report["engine"] = {"mode": "per_query_loop"}
+        report["results"] = [
+            {
+                "source": source,
+                "target": target,
+                "samples": samples,
+                "estimate": float(estimate),
+            }
+            for (source, target, samples), estimate in zip(queries, estimates)
+        ]
+    payload = json.dumps(report, indent=2)
+    if args.output == "-":
+        print(payload)
+    else:
+        Path(args.output).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {len(queries)} results to {args.output}")
     return 0
 
 
@@ -188,6 +345,7 @@ def _command_study(args: argparse.Namespace) -> int:
         criterion=ConvergenceCriterion(k_start=250, k_step=250, k_max=args.kmax),
         estimators=tuple(args.estimators),
         seed=args.seed,
+        use_batch_engine=args.batch,
     )
     result = run_study(config)
     print(
@@ -210,6 +368,7 @@ def _command_study(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "estimate": _command_estimate,
+    "batch": _command_batch,
     "datasets": _command_datasets,
     "topk": _command_topk,
     "bounds": _command_bounds,

@@ -11,13 +11,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Optional
+from typing import ClassVar, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.graph import UncertainGraph
-from repro.util.rng import SeedLike, ensure_generator
+from repro.util.rng import SeedLike, ensure_generator, stable_substream
 from repro.util.validation import check_node, check_positive
+
+#: Namespace key for the batch fallback's per-query substreams, so keys
+#: like ``(seed, source, target, samples)`` cannot collide with other
+#: substream users of the same root seed (e.g. the experiment runner's
+#: ``(seed, pair, repeat, K)`` cells, or the engine's world stream).
+_BATCH_STREAM = 0x42
 
 
 @dataclass
@@ -92,6 +98,38 @@ class Estimator(abc.ABC):
                 f"{self.display_name} produced out-of-range estimate {estimate}"
             )
         return min(estimate, 1.0)
+
+    def estimate_batch(
+        self,
+        queries: Iterable[Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Estimate a whole workload of ``(source, target, samples)`` triples.
+
+        Default implementation: the per-query loop — one :meth:`estimate`
+        per triple, each on a substream keyed by ``(seed, source, target,
+        samples)`` so duplicate queries agree and results are independent
+        of workload order.  Subclasses with a shared-work fast path
+        override this; :class:`~repro.core.estimators.monte_carlo.
+        MonteCarloEstimator` routes it through the batch engine
+        (:mod:`repro.engine`), which samples each possible world once for
+        the whole workload (paper §2.2/§3.7).
+
+        Returns estimates aligned with the input order.
+        """
+        workload = [tuple(int(part) for part in query) for query in queries]
+        results = np.empty(len(workload), dtype=np.float64)
+        for index, (source, target, samples) in enumerate(workload):
+            rng = (
+                None
+                if seed is None
+                else stable_substream(
+                    seed, _BATCH_STREAM, source, target, samples
+                )
+            )
+            results[index] = self.estimate(source, target, samples, rng=rng)
+        return results
 
     def prepare(self) -> None:
         """Build any offline index.  Default: nothing to do."""

@@ -24,8 +24,8 @@ fixpoint*: ``I_v = OR over in-edges (u,v) of (I_u AND bits(u,v))`` seeded with
 ``I_s = 1...1``, driven by a FIFO worklist.  The fixpoint is unique and equals
 per-world BFS reachability (verified against plain MC in the tests); the
 paper's cascade is one particular scheduling of the same fixpoint.
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
 
 from collections import deque
@@ -41,6 +41,61 @@ from repro.util.rng import SeedLike, ensure_generator
 from repro.util.validation import check_positive
 
 DEFAULT_CAPACITY = 1500  # the paper's "safe bound" L on pre-sampled worlds
+
+
+def shared_reachability_fixpoint(
+    graph: UncertainGraph,
+    edge_bits: np.ndarray,
+    source: int,
+    bit_count: int,
+) -> tuple:
+    """The shared-BFS dataflow fixpoint (Algs. 2-3) over given edge bits.
+
+    Seeds ``I_source`` with the first ``bit_count`` worlds and propagates
+    ``I_v = OR over in-edges (u, v) of (I_u AND bits(u, v))`` via a FIFO
+    worklist to the unique monotone fixpoint.  Returns
+    ``(node_bits, edges_probed)`` where ``node_bits[v]``'s bit ``k`` says
+    "``v`` is reachable from ``source`` in world ``k``".
+
+    Factored out of :class:`BFSSharingEstimator` so the batch engine
+    (:mod:`repro.engine.batch`) can run the same kernel over *chunks* of
+    its deterministic world stream — one fixpoint answers up to 64 worlds
+    per word for every target of a source at once.
+    """
+    words = edge_bits.shape[1]
+    if bitset.packed_words(bit_count) != words:
+        raise ValueError(
+            f"bit_count {bit_count} needs {bitset.packed_words(bit_count)} "
+            f"words, edge bits carry {words}"
+        )
+    node_bits = np.zeros((graph.node_count, words), dtype=np.uint64)
+    node_bits[source] = bitset.full_row(bit_count)
+    indptr, targets = graph.indptr, graph.targets
+    in_worklist = np.zeros(graph.node_count, dtype=bool)
+    in_worklist[source] = True
+    worklist = deque([source])
+    edges_probed = 0
+    while worklist:
+        node = worklist.popleft()
+        in_worklist[node] = False
+        start, stop = indptr[node], indptr[node + 1]
+        if start == stop:
+            continue
+        edges_probed += stop - start
+        # Worlds in which each out-edge carries node's reachability onward.
+        contribution = edge_bits[start:stop] & node_bits[node][None, :]
+        neighbors = targets[start:stop]
+        updated = node_bits[neighbors] | contribution
+        changed = (updated != node_bits[neighbors]).any(axis=1)
+        if not changed.any():
+            continue
+        changed_nodes = neighbors[changed]
+        node_bits[changed_nodes] = updated[changed]
+        for neighbor in changed_nodes:
+            if not in_worklist[neighbor]:
+                in_worklist[neighbor] = True
+                worklist.append(int(neighbor))
+    return node_bits, int(edges_probed)
 
 
 class BFSSharingIndex:
@@ -180,41 +235,14 @@ class BFSSharingEstimator(Estimator):
         if self.refresh_per_query and rng is not None:
             index.refresh(rng)
 
-        graph = self.graph
         words = bitset.packed_words(samples)
         # Node reachability vectors I_v; allocated per query like the paper
         # (the O(Kn) online-only memory its corrected analysis points out).
-        node_bits = np.zeros((graph.node_count, words), dtype=np.uint64)
-        node_bits[source] = bitset.full_row(samples)
+        node_bits, edges_probed = shared_reachability_fixpoint(
+            self.graph, index.edge_bits[:, :words], source, samples
+        )
         self._node_bits = node_bits
-
-        edge_bits = index.edge_bits[:, :words]
-        indptr, targets = graph.indptr, graph.targets
-        in_worklist = np.zeros(graph.node_count, dtype=bool)
-        in_worklist[source] = True
-        worklist = deque([source])
-        edges_probed = 0
-        while worklist:
-            node = worklist.popleft()
-            in_worklist[node] = False
-            start, stop = indptr[node], indptr[node + 1]
-            if start == stop:
-                continue
-            edges_probed += stop - start
-            # Worlds in which each out-edge carries node's reachability onward.
-            contribution = edge_bits[start:stop] & node_bits[node][None, :]
-            neighbors = targets[start:stop]
-            updated = node_bits[neighbors] | contribution
-            changed = (updated != node_bits[neighbors]).any(axis=1)
-            if not changed.any():
-                continue
-            changed_nodes = neighbors[changed]
-            node_bits[changed_nodes] = updated[changed]
-            for neighbor in changed_nodes:
-                if not in_worklist[neighbor]:
-                    in_worklist[neighbor] = True
-                    worklist.append(int(neighbor))
-        self.last_query_statistics.edges_probed = int(edges_probed)
+        self.last_query_statistics.edges_probed = edges_probed
         return node_bits
 
     def _estimate(
@@ -236,4 +264,9 @@ class BFSSharingEstimator(Estimator):
         return total
 
 
-__all__ = ["BFSSharingIndex", "BFSSharingEstimator", "DEFAULT_CAPACITY"]
+__all__ = [
+    "BFSSharingIndex",
+    "BFSSharingEstimator",
+    "DEFAULT_CAPACITY",
+    "shared_reachability_fixpoint",
+]

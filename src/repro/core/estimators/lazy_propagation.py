@@ -37,8 +37,8 @@ buggy-LP mode a probability-1 edge would refire in the same expansion forever
 (``X'`` always 0), so a per-expansion pop cap breaks the loop — the original
 authors' datasets had no probability-1 edges, so the published algorithm
 never hit this.
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
 
 import heapq

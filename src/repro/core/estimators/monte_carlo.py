@@ -4,9 +4,11 @@ The estimator draws ``K`` possible worlds lazily: an edge is sampled only
 when the BFS frontier reaches its source node, and each world's BFS stops as
 soon as the target is visited.  The estimate is the hit rate (Eq. 3); its
 variance is Binomial, ``R(1-R)/K`` (Eq. 4).
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +28,7 @@ class MonteCarloEstimator(Estimator):
     def __init__(self, graph: UncertainGraph, *, seed: SeedLike = None) -> None:
         super().__init__(graph, seed=seed)
         self._sampler = ReachabilitySampler(graph)
+        self._batch_engine = None
 
     def _estimate(
         self,
@@ -34,12 +37,47 @@ class MonteCarloEstimator(Estimator):
         samples: int,
         rng: np.random.Generator,
     ) -> float:
+        self._batch_engine = None  # last query was per-query, not batched
         return self._sampler.estimate(source, target, samples, rng)
+
+    def estimate_batch(
+        self,
+        queries: Iterable[Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Shared-world fast path via the batch engine (paper §2.2/§3.7).
+
+        Every possible world is sampled once and swept for all pending
+        queries, instead of the base class's K-samples-per-query loop.
+        MC's estimate is a pure hit rate over worlds, so evaluating many
+        queries against one world stream keeps each estimate's marginal
+        distribution identical to a per-query run over that stream.  With
+        ``seed=None`` the world-stream root is drawn from the estimator's
+        own generator, matching the base class's fallback to the
+        constructor seed (reproducible iff the estimator was seeded).
+        """
+        from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
+
+        if seed is None:
+            seed = int(self._rng.integers(2**63))
+        engine = BatchEngine(
+            self.graph,
+            seed=seed,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+        self._batch_engine = engine  # memory_bytes() reflects the last path
+        return engine.run(queries).estimates
 
     def memory_bytes(self) -> int:
         # Graph + the reusable visited-epoch array + the frontier queue;
-        # MC keeps nothing else alive between samples (paper §2.8).
+        # MC keeps nothing else alive between samples (paper §2.8).  When
+        # the last query ran through the batch engine, its chunk working
+        # set is what was actually resident — report that instead.
         visited_bytes = self.graph.node_count * np.dtype(np.int64).itemsize
+        if self._batch_engine is not None:
+            return self._batch_engine.memory_bytes() + visited_bytes
         return super().memory_bytes() + visited_bytes
 
 

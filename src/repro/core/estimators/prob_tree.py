@@ -29,8 +29,8 @@ raw content, and repeats up to the root; the assembled root graph is handed
 to the coupled estimator.  Coupling defaults to MC, as in the original
 paper, but accepts any estimator factory — reproducing §3.8 (ProbTree+LP+/
 RHH/RSS) and extending it to every registered estimator.
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
 
 import pickle

@@ -28,8 +28,8 @@ weights ``K1/K`` and ``K2/K``.  ``E[K1]/K = P(e)`` keeps the estimator
 unbiased for any edge probability, a zero-sample branch simply drops out
 (weight 0), and whenever ``P(e) K >= 1`` the split is the paper's
 deterministic one up to the fractional sample.
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
 
 from typing import List, Tuple

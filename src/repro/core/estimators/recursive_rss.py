@@ -25,8 +25,8 @@ Two exact short-circuits mirror Li et al.'s graph simplification: a stratum
 in which ``t`` is already reachable through forced-present edges returns 1
 without sampling, and one where ``t`` is unreachable even using every
 undetermined edge returns 0.
+Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 """
-
 from __future__ import annotations
 
 from typing import List

@@ -14,7 +14,11 @@ It provides:
 The fused kernel supports *forced* edge states (``+1`` always present, ``-1``
 always absent, ``0`` probabilistic), which is exactly the conditioning
 ``G(E1, E2)`` on inclusion/exclusion edge lists used by the recursive
-estimators (paper Eq. 7).
+estimators (paper Eq. 7).  A fully-forced state vector is a materialised
+possible world; :meth:`ReachabilitySampler.reach_targets` sweeps one such
+world for a whole target set at once, which is the primitive
+:mod:`repro.engine` amortises across query batches (see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -37,6 +41,16 @@ def sample_world(graph: UncertainGraph, rng: SeedLike = None) -> np.ndarray:
     """Sample one possible world; returns a boolean mask over edge ids."""
     generator = ensure_generator(rng)
     return generator.random(graph.edge_count) < graph.probs
+
+
+def forced_from_mask(mask: np.ndarray) -> np.ndarray:
+    """A world mask as a fully-forced edge-state vector (±1, no zeros).
+
+    The result decides every edge, so kernels consuming it (e.g.
+    :meth:`ReachabilitySampler.reach_targets` with ``rng=None``) draw no
+    random numbers — the representation the batch engine sweeps.
+    """
+    return np.where(mask, EDGE_PRESENT, EDGE_ABSENT).astype(np.int8)
 
 
 def world_probability(graph: UncertainGraph, mask: np.ndarray) -> float:
@@ -141,6 +155,65 @@ class ReachabilitySampler:
             frontier = fresh
         return False
 
+    def reach_targets(
+        self,
+        source: int,
+        targets: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        forced: Optional[np.ndarray] = None,
+        max_hops: Optional[int] = None,
+    ) -> np.ndarray:
+        """Reachability indicators for *many* targets in one world.
+
+        The same level-synchronous kernel as :meth:`sample`, generalised to
+        a target set: the walk expands until every target is visited, the
+        frontier dies out, or ``max_hops`` levels have been expanded, and
+        returns a boolean array aligned with ``targets``.
+
+        This is the sweep primitive of the batch engine (§3.7 world
+        sharing): with ``rng=None`` every edge state must be decided by
+        ``forced`` — i.e. ``forced`` *is* a fully materialised possible
+        world — and no random numbers are drawn, so one sampled world can
+        be swept once per source and amortised over all pending queries.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if rng is None and forced is None:
+            raise ValueError("reach_targets needs an rng or a fully forced world")
+        graph = self._graph
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited_epoch
+        visited[source] = epoch
+        indptr, edge_targets, probs = graph.indptr, graph.targets, graph.probs
+        frontier = np.array([source], dtype=np.int64)
+        hops = 0
+        while frontier.size and np.count_nonzero(visited[targets] != epoch):
+            if max_hops is not None and hops >= max_hops:
+                break
+            hops += 1
+            edge_ids = concatenate_ranges(indptr[frontier], indptr[frontier + 1])
+            if edge_ids.size == 0:
+                break
+            if rng is None:
+                exists = forced[edge_ids] == EDGE_PRESENT
+            else:
+                exists = rng.random(edge_ids.size) < probs[edge_ids]
+                if forced is not None:
+                    states = forced[edge_ids]
+                    exists = (exists & (states != EDGE_ABSENT)) | (
+                        states == EDGE_PRESENT
+                    )
+            candidates = edge_targets[edge_ids[exists]]
+            if candidates.size == 0:
+                break
+            fresh = candidates[visited[candidates] != epoch]
+            if fresh.size == 0:
+                break
+            fresh = np.unique(fresh)
+            visited[fresh] = epoch
+            frontier = fresh
+        return visited[targets] == epoch
+
     def estimate(
         self,
         source: int,
@@ -165,6 +238,7 @@ __all__ = [
     "EDGE_PRESENT",
     "EDGE_ABSENT",
     "sample_world",
+    "forced_from_mask",
     "world_probability",
     "reachable_in_world",
     "ReachabilitySampler",

@@ -1,0 +1,29 @@
+"""Batched multi-query reliability engine (paper §2.2, §3.7).
+
+Answers workloads of ``(source, target, K)`` queries by sampling each
+possible world once and sweeping it for every pending query, instead of
+re-sampling worlds per query.  See ``docs/architecture.md`` for the design
+and :mod:`repro.engine.batch` for the determinism contract.
+"""
+
+from repro.engine.batch import (
+    DEFAULT_CHUNK_SIZE,
+    BatchEngine,
+    BatchResult,
+    estimate_workload,
+)
+from repro.engine.cache import ResultCache, graph_fingerprint, result_key
+from repro.engine.plan import BatchQuery, QueryPlan, plan_queries
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "BatchEngine",
+    "BatchResult",
+    "estimate_workload",
+    "ResultCache",
+    "graph_fingerprint",
+    "result_key",
+    "BatchQuery",
+    "QueryPlan",
+    "plan_queries",
+]

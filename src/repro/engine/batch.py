@@ -1,0 +1,423 @@
+"""The shared-world batch engine (paper §2.2 cost model, §3.7 world sharing).
+
+The paper's running theme is that the *sampling* of possible worlds, not
+the per-world arithmetic, dominates s-t reliability estimation; its two
+index-based methods (BFS Sharing §2.3, ProbTree §2.7) both win by making
+sampled work reusable.  This engine applies the same lever at the workload
+level: given many ``(source, target, K)`` queries over one graph, it draws
+each possible world **once** and evaluates every query whose budget covers
+that world against it, instead of re-sampling K worlds per query the way a
+per-query loop does.
+
+Determinism contract
+--------------------
+World ``i`` is a pure function of ``(graph, seed, i)`` — see
+:meth:`BatchEngine.world_mask`.  Consequences:
+
+* batch and sequential evaluation over the same stream agree **exactly**
+  (tested in ``tests/engine/``);
+* results are independent of ``chunk_size``, which only bounds how many
+  ``(chunk, m)`` world masks are resident at once (memory-bounded
+  streaming, the anti-``O(Km)`` stance of §2.3's corrected analysis);
+* estimates are cacheable by ``(graph fingerprint, s, t, K, seed)`` —
+  see :mod:`repro.engine.cache` — because nothing else enters the value.
+
+Two sweep strategies implement the same semantics:
+
+* ``sweep="bitset"`` (default) — each chunk of worlds is packed into the
+  uint64 bit-matrix layout of BFS Sharing (§2.3) and one dataflow
+  fixpoint per distinct source answers *all* of that source's targets in
+  *all* of the chunk's worlds at once
+  (:func:`~repro.core.estimators.bfs_sharing.shared_reachability_fixpoint`);
+* ``sweep="per_world"`` — one
+  :meth:`~repro.core.possible_world.ReachabilitySampler.reach_targets`
+  call per (world, source): the multi-target generalisation of Alg. 1's
+  fused BFS kernel with early termination.  Slower, but a direct
+  per-world oracle; :meth:`BatchEngine.run_sequential` is built on it.
+
+Both strategies consume the identical world stream, so they agree exactly
+with each other and with the sequential loop (property-tested in
+``tests/engine/``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimators.bfs_sharing import shared_reachability_fixpoint
+from repro.core.graph import UncertainGraph
+from repro.core.possible_world import (
+    ReachabilitySampler,
+    forced_from_mask,
+    sample_world,
+)
+from repro.engine.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    ResultCache,
+    graph_fingerprint,
+    result_key,
+)
+from repro.engine.plan import BatchQuery, QueryLike, QueryPlan, plan_queries
+from repro.util import bitset
+from repro.util.rng import stable_substream
+from repro.util.validation import check_positive
+
+#: Default number of world masks materialised per streaming step.  A
+#: multiple of 64 keeps the packed chunks' last words fully used.
+DEFAULT_CHUNK_SIZE = 256
+
+#: Sweep strategies accepted by :class:`BatchEngine`.
+SWEEP_MODES = ("bitset", "per_world")
+
+#: Namespace key separating the engine's world stream from the substreams
+#: used elsewhere (experiment repeats, CLI queries, ...).
+_WORLD_STREAM = 0x57
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Estimates plus engine instrumentation for one workload run."""
+
+    queries: Tuple[BatchQuery, ...]  # original order, duplicates kept
+    estimates: np.ndarray  # aligned with `queries`
+    seed: int
+    worlds_sampled: int  # worlds drawn during this run
+    sweeps: int  # per-source BFS sweeps performed
+    cache_hits: int
+    cache_misses: int
+    seconds: float
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def as_rows(self) -> Tuple[Dict[str, float], ...]:
+        """JSON-friendly per-query rows (the `repro batch` CLI payload)."""
+        return tuple(
+            {
+                "source": query.source,
+                "target": query.target,
+                "samples": query.samples,
+                "estimate": float(estimate),
+            }
+            for query, estimate in zip(self.queries, self.estimates)
+        )
+
+
+class BatchEngine:
+    """Answers workloads of s-t reliability queries over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph all queries address.
+    seed:
+        Root of the world stream; ``None`` draws a fresh random root so
+        separate engines are independent (at the cost of cacheability
+        across engine instances).
+    chunk_size:
+        How many world masks are sampled per streaming step; memory is
+        bounded by ``O(chunk_size * edge_count)`` bits regardless of K.
+    sweep:
+        ``"bitset"`` (default, packed fixpoint per chunk) or
+        ``"per_world"`` (one kernel sweep per world) — identical results,
+        different constants.
+    cache:
+        A shared :class:`ResultCache`; by default each engine owns one of
+        ``DEFAULT_CACHE_CAPACITY`` entries.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        seed: Optional[int] = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        sweep: str = "bitset",
+        cache: Optional[ResultCache] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        self.graph = graph
+        if seed is None:
+            seed = int(np.random.default_rng().integers(2**63))
+        self.seed = int(seed)
+        self.chunk_size = check_positive(chunk_size, "chunk_size")
+        if sweep not in SWEEP_MODES:
+            raise ValueError(
+                f"unknown sweep mode {sweep!r}; known: {', '.join(SWEEP_MODES)}"
+            )
+        self.sweep = sweep
+        self.cache = cache if cache is not None else ResultCache(cache_capacity)
+        self.fingerprint = graph_fingerprint(graph)
+        self._sampler = ReachabilitySampler(graph)
+
+    # ------------------------------------------------------------------
+    # The world stream
+    # ------------------------------------------------------------------
+
+    def world_mask(self, index: int) -> np.ndarray:
+        """Materialise world ``index`` as a boolean mask over edge ids.
+
+        Pure in ``(graph, seed, index)``: every evaluation strategy — batch,
+        sequential, chunked or not — sees the same world at the same index,
+        which is what makes batch-vs-sequential agreement exact and cache
+        keys sound.
+        """
+        rng = stable_substream(self.seed, _WORLD_STREAM, index)
+        return sample_world(self.graph, rng)
+
+    def _forced_world(self, index: int) -> np.ndarray:
+        """World ``index`` as a fully-forced edge-state vector (±1)."""
+        return forced_from_mask(self.world_mask(index))
+
+    def _mask_chunk(self, start: int, count: int) -> np.ndarray:
+        """Worlds ``start .. start + count`` as a ``(count, m)`` mask block.
+
+        One block is the engine's entire world-residency: resident memory
+        is ``O(chunk_size * edge_count)`` bits however large K grows.
+        Each row comes from its own world substream, so the block's
+        content is independent of the chunk boundaries.
+        """
+        masks = np.empty((count, self.graph.edge_count), dtype=bool)
+        for offset in range(count):
+            masks[offset] = self.world_mask(start + offset)
+        return masks
+
+    # ------------------------------------------------------------------
+    # Chunk sweeps (identical semantics, different constants)
+    # ------------------------------------------------------------------
+
+    def _sweep_chunk_bitset(
+        self,
+        masks: np.ndarray,
+        chunk_start: int,
+        count: int,
+        groups,
+        pending: np.ndarray,
+        hits: np.ndarray,
+    ) -> int:
+        """Packed sweep: one fixpoint per source covers the whole chunk.
+
+        The chunk's masks become a BFS-Sharing-style edge bit matrix; the
+        shared fixpoint then resolves every (source, target, world) triple
+        at once, and per-query prefix masks keep each budget exact.
+        """
+        edge_bits = bitset.pack_bool_matrix(masks)
+        words = edge_bits.shape[1]
+        mask_by_limit: Dict[int, np.ndarray] = {}
+
+        def budget_mask(limit: int) -> np.ndarray:
+            # Budgets repeat heavily (uniform-K workloads have one value),
+            # so prefix masks are built once per distinct limit per chunk.
+            cached = mask_by_limit.get(limit)
+            if cached is None:
+                cached = bitset.prefix_mask(limit, words)
+                mask_by_limit[limit] = cached
+            return cached
+
+        sweeps = 0
+        for group in groups:
+            live_counts = np.minimum(group.samples - chunk_start, count)
+            live = pending[group.query_indices] & (live_counts > 0)
+            if not live.any():
+                continue
+            node_bits, _ = shared_reachability_fixpoint(
+                self.graph, edge_bits, group.source, count
+            )
+            rows = node_bits[group.targets[live]]
+            budget_masks = np.stack(
+                [budget_mask(int(limit)) for limit in live_counts[live]]
+            )
+            hits[group.query_indices[live]] += bitset.popcount_rows(
+                rows & budget_masks
+            )
+            sweeps += 1
+        return sweeps
+
+    def _sweep_chunk_per_world(
+        self,
+        masks: np.ndarray,
+        chunk_start: int,
+        count: int,
+        groups,
+        pending: np.ndarray,
+        hits: np.ndarray,
+    ) -> int:
+        """Per-world sweep: one fused-kernel walk per (world, source)."""
+        sweeps = 0
+        for offset in range(count):
+            world = chunk_start + offset
+            forced = forced_from_mask(masks[offset])
+            for group in groups:
+                if world >= group.k_max:
+                    continue
+                live = pending[group.query_indices] & (group.samples > world)
+                if not live.any():
+                    continue
+                reached = self._sampler.reach_targets(
+                    group.source, group.targets[live], forced=forced
+                )
+                hits[group.query_indices[live]] += reached
+                sweeps += 1
+        return sweeps
+
+    def memory_bytes(self) -> int:
+        """Approximate peak working set of one chunk sweep (graph included).
+
+        The streaming bound the ``chunk_size`` knob enforces: one chunk of
+        boolean world masks plus, for the bitset sweep, the packed edge
+        bits and one node-reachability matrix (cf. §2.3's ``O(Km)`` index
+        memory, which the engine holds only ``chunk_size`` worlds of).
+        """
+        edge_count = self.graph.edge_count
+        node_count = self.graph.node_count
+        total = self.graph.memory_bytes()
+        total += self.chunk_size * edge_count  # boolean mask chunk
+        if self.sweep == "bitset":
+            words = bitset.packed_words(self.chunk_size)
+            word_bytes = np.dtype(np.uint64).itemsize
+            total += edge_count * words * word_bytes  # packed edge bits
+            total += node_count * words * word_bytes  # fixpoint node bits
+        else:
+            total += edge_count  # int8 forced-state vector
+            total += node_count * np.dtype(np.int64).itemsize  # visited
+        return total
+
+    # ------------------------------------------------------------------
+    # Evaluation strategies
+    # ------------------------------------------------------------------
+
+    def run(self, queries: Iterable[QueryLike]) -> BatchResult:
+        """Answer a workload with the shared-world fast path.
+
+        Worlds stream in ``chunk_size`` blocks; each world is swept once
+        per distinct source still holding unresolved queries.  Cached
+        queries are served without sampling at all.
+        """
+        started = time.perf_counter()
+        plan = plan_queries(self.graph, queries)
+        unique_estimates = np.zeros(plan.unique_count, dtype=np.float64)
+        pending = np.zeros(plan.unique_count, dtype=bool)
+        cache_hits = cache_misses = 0
+
+        for index, query in enumerate(plan.queries):
+            key = result_key(
+                self.fingerprint, query.source, query.target,
+                query.samples, self.seed,
+            )
+            cached = self.cache.get(key)
+            if cached is None:
+                cache_misses += 1
+                pending[index] = True
+            else:
+                cache_hits += 1
+                unique_estimates[index] = cached
+
+        worlds = sweeps = 0
+        if pending.any():
+            hits = np.zeros(plan.unique_count, dtype=np.int64)
+            budgets = np.asarray(
+                [query.samples for query in plan.queries], dtype=np.int64
+            )
+            groups = [
+                group
+                for group in plan.groups
+                if pending[group.query_indices].any()
+            ]
+            k_needed = int(budgets[pending].max())
+            sweep_chunk = (
+                self._sweep_chunk_bitset
+                if self.sweep == "bitset"
+                else self._sweep_chunk_per_world
+            )
+            for chunk_start in range(0, k_needed, self.chunk_size):
+                count = min(self.chunk_size, k_needed - chunk_start)
+                masks = self._mask_chunk(chunk_start, count)
+                worlds += count
+                sweeps += sweep_chunk(
+                    masks, chunk_start, count, groups, pending, hits
+                )
+            unique_estimates[pending] = hits[pending] / budgets[pending]
+            for index in np.nonzero(pending)[0]:
+                query = plan.queries[index]
+                self.cache.put(
+                    result_key(
+                        self.fingerprint, query.source, query.target,
+                        query.samples, self.seed,
+                    ),
+                    float(unique_estimates[index]),
+                )
+
+        return BatchResult(
+            queries=tuple(plan.queries[i] for i in plan.assignment),
+            estimates=plan.scatter(unique_estimates),
+            seed=self.seed,
+            worlds_sampled=worlds,
+            sweeps=sweeps,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            seconds=time.perf_counter() - started,
+        )
+
+    def run_sequential(self, queries: Iterable[QueryLike]) -> BatchResult:
+        """Answer the workload one query at a time over the *same* stream.
+
+        This is the per-query loop the engine exists to beat: every query
+        re-materialises its K worlds from scratch (K world samplings per
+        query instead of ``max K`` total), then sweeps them for its single
+        target.  Because the stream is shared, estimates agree exactly
+        with :meth:`run` — it serves as both the benchmark baseline and
+        the correctness oracle.  The result cache is bypassed on purpose,
+        so the report's cache counters are zero.
+        """
+        started = time.perf_counter()
+        plan = plan_queries(self.graph, queries)
+        unique_estimates = np.zeros(plan.unique_count, dtype=np.float64)
+        worlds = sweeps = 0
+        for index, query in enumerate(plan.queries):
+            target = np.asarray([query.target], dtype=np.int64)
+            hits = 0
+            for world in range(query.samples):
+                forced = self._forced_world(world)
+                worlds += 1
+                hits += int(
+                    self._sampler.reach_targets(
+                        query.source, target, forced=forced
+                    )[0]
+                )
+                sweeps += 1
+            unique_estimates[index] = hits / query.samples
+        return BatchResult(
+            queries=tuple(plan.queries[i] for i in plan.assignment),
+            estimates=plan.scatter(unique_estimates),
+            seed=self.seed,
+            worlds_sampled=worlds,
+            sweeps=sweeps,
+            cache_hits=0,
+            cache_misses=0,
+            seconds=time.perf_counter() - started,
+        )
+
+
+def estimate_workload(
+    graph: UncertainGraph,
+    queries: Iterable[QueryLike],
+    *,
+    seed: Optional[int] = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> BatchResult:
+    """One-shot convenience wrapper: plan, run, return the report."""
+    engine = BatchEngine(graph, seed=seed, chunk_size=chunk_size)
+    return engine.run(queries)
+
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "SWEEP_MODES",
+    "BatchResult",
+    "BatchEngine",
+    "estimate_workload",
+]

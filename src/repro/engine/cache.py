@@ -1,0 +1,119 @@
+"""Result caching for the batch engine.
+
+Because the engine's world stream is a pure function of
+``(graph fingerprint, seed, world index)`` — see
+:meth:`repro.engine.batch.BatchEngine.world_mask` — an estimate is fully
+determined by the key ``(graph fingerprint, source, target, K, seed)``.
+Caching on that key is therefore *exact*, not approximate: a hit replays
+the very number a fresh evaluation would produce.  This mirrors the paper's
+observation (§2.2/§3.7) that the expensive part of an estimate is sampling,
+not arithmetic — a served query whose worlds were already drawn should
+never draw them again.
+
+The cache is a plain LRU over that key.  It deliberately stores only
+floats: worlds themselves are streamed and dropped (the §2.3 lesson — BFS
+Sharing's offline index shows that *retaining* K worlds costs ``O(Km)``
+memory, which is exactly what the engine's ``chunk_size`` knob avoids).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.core.graph import UncertainGraph
+from repro.util.validation import check_positive
+
+#: Cache key: (graph fingerprint, source, target, samples, seed).
+ResultKey = Tuple[str, int, int, int, int]
+
+DEFAULT_CACHE_CAPACITY = 4096
+
+_FINGERPRINT_ATTRIBUTE = "_engine_fingerprint"
+
+
+def graph_fingerprint(graph: UncertainGraph) -> str:
+    """Content hash of a graph's CSR arrays (stable across processes).
+
+    Two graphs with identical structure and probabilities share a
+    fingerprint, so cached results survive reloading the same dataset.
+    The digest is memoised on the (frozen) graph instance.
+    """
+    cached = getattr(graph, _FINGERPRINT_ATTRIBUTE, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(int(graph.node_count).to_bytes(8, "little"))
+    digest.update(graph.indptr.tobytes())
+    digest.update(graph.targets.tobytes())
+    digest.update(graph.probs.tobytes())
+    fingerprint = digest.hexdigest()
+    setattr(graph, _FINGERPRINT_ATTRIBUTE, fingerprint)
+    return fingerprint
+
+
+def result_key(
+    fingerprint: str, source: int, target: int, samples: int, seed: int
+) -> ResultKey:
+    """The canonical cache key for one estimate."""
+    return (fingerprint, int(source), int(target), int(samples), int(seed))
+
+
+class ResultCache:
+    """A bounded LRU cache of batch-engine estimates.
+
+    ``get`` promotes hits to most-recently-used; ``put`` evicts the least
+    recently used entry once ``capacity`` is exceeded.  Hit/miss counters
+    feed the engine's :class:`~repro.engine.batch.BatchResult` report.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        self.capacity = check_positive(capacity, "capacity")
+        self._entries: "OrderedDict[ResultKey, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ResultKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: ResultKey) -> Optional[float]:
+        """Return the cached estimate for ``key`` or ``None`` (counted)."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: ResultKey, value: float) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+        self._entries[key] = float(value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def statistics(self) -> Dict[str, int]:
+        """Counters for reports: size, capacity, hits, misses."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "ResultKey",
+    "ResultCache",
+    "graph_fingerprint",
+    "result_key",
+]

@@ -94,12 +94,25 @@ class ConvergenceResult:
         return None
 
 
+def _batch_repeat_seed(seed: int, repeat: int, samples: int) -> int:
+    """Integer root for one (repeat, K) batch — stable across runs.
+
+    Each repeat submits the whole workload as one batch; deriving an
+    independent integer per (seed, repeat, K) keeps repeats statistically
+    independent while letting the batch engine share worlds *within* a
+    repeat (paper §3.7's world reuse at workload granularity).
+    """
+    sequence = np.random.SeedSequence((int(seed), int(repeat), int(samples)))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
 def evaluate_at_k(
     estimator: Estimator,
     workload: QueryWorkload,
     samples: int,
     repeats: int,
     seed: int = 0,
+    use_batch: bool = False,
 ) -> SamplePoint:
     """Measure one (estimator, K) grid point over the whole workload.
 
@@ -107,16 +120,33 @@ def evaluate_at_k(
     by K, matching the paper's protocol of fully independent runs.  Query
     wall time is averaged over all runs; the estimator's self-reported
     working set is sampled after the last query.
+
+    With ``use_batch=True`` each repeat submits the whole workload through
+    :meth:`Estimator.estimate_batch` instead of the per-pair loop, letting
+    estimators with a shared-world fast path (MC via :mod:`repro.engine`)
+    amortise world sampling across pairs.  Repeats remain independent
+    (fresh batch seed per repeat); pairs within a repeat may share worlds,
+    which leaves every per-pair marginal distribution — and hence the
+    dispersion protocol's statistics — unchanged.
     """
     pair_count = len(workload)
     estimates = np.zeros((pair_count, repeats), dtype=np.float64)
     started = time.perf_counter()
-    for pair_index, (source, target) in enumerate(workload):
+    if use_batch:
         for repeat in range(repeats):
-            rng = stable_substream(seed, pair_index, repeat, samples)
-            estimates[pair_index, repeat] = estimator.estimate(
-                source, target, samples, rng=rng
+            queries = [
+                (source, target, samples) for source, target in workload
+            ]
+            estimates[:, repeat] = estimator.estimate_batch(
+                queries, seed=_batch_repeat_seed(seed, repeat, samples)
             )
+    else:
+        for pair_index, (source, target) in enumerate(workload):
+            for repeat in range(repeats):
+                rng = stable_substream(seed, pair_index, repeat, samples)
+                estimates[pair_index, repeat] = estimator.estimate(
+                    source, target, samples, rng=rng
+                )
     elapsed = time.perf_counter() - started
 
     per_pair_means = estimates.mean(axis=1)
@@ -144,15 +174,20 @@ def run_convergence(
     repeats: int = DEFAULT_REPEATS,
     seed: int = 0,
     stop_at_convergence: bool = False,
+    use_batch: bool = False,
 ) -> ConvergenceResult:
     """Walk the K grid until the dispersion criterion fires.
 
     With ``stop_at_convergence=False`` (default) the full grid is measured —
     needed by the trade-off figures (9-11), which plot past convergence.
+    ``use_batch`` routes each grid point through the workload-at-once path
+    of :func:`evaluate_at_k`.
     """
     result = ConvergenceResult(estimator_key=getattr(estimator, "key", "?"))
     for samples in criterion.grid():
-        point = evaluate_at_k(estimator, workload, samples, repeats, seed)
+        point = evaluate_at_k(
+            estimator, workload, samples, repeats, seed, use_batch=use_batch
+        )
         result.points.append(point)
         converged = (
             result.converged_at is None

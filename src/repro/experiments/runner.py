@@ -48,6 +48,13 @@ class StudyConfig:
     estimators: Sequence[str] = tuple(PAPER_ESTIMATORS)
     seed: int = 0
     estimator_options: Dict[str, dict] = field(default_factory=dict)
+    #: Submit the whole workload as one batch per repeat through
+    #: ``Estimator.estimate_batch`` — estimators with a shared-world fast
+    #: path (MC via :mod:`repro.engine`) then sample each possible world
+    #: once per repeat instead of once per (pair, repeat).  Off by default
+    #: to keep the per-(pair, repeat) substream protocol of the paper's
+    #: tables bit-for-bit stable.
+    use_batch_engine: bool = False
 
     def options_for(self, key: str) -> dict:
         options = dict(self.estimator_options.get(key, {}))
@@ -203,6 +210,7 @@ def run_study(config: StudyConfig) -> StudyResult:
             criterion=config.criterion,
             repeats=config.repeats,
             seed=config.seed,
+            use_batch=config.use_batch_engine,
         )
 
     reference_key = (

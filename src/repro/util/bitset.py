@@ -65,6 +65,18 @@ def full_row(bit_count: int) -> np.ndarray:
     return row
 
 
+def _pack_word(draws: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, bits <= 64)`` boolean block into one word per row.
+
+    Bit ``k`` of the result's row ``i`` is ``draws[i, k]`` — the packing
+    step shared by :func:`sample_bit_matrix` and :func:`pack_bool_matrix`:
+    a sum of ``2^k`` over set bit positions.
+    """
+    shifts = np.arange(draws.shape[1], dtype=np.uint64)
+    weights = (np.uint64(1) << shifts).astype(np.uint64)
+    return (draws.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+
+
 def sample_bit_matrix(
     probabilities: np.ndarray, bit_count: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -79,16 +91,49 @@ def sample_bit_matrix(
     rows = probabilities.shape[0]
     words = packed_words(bit_count)
     matrix = np.zeros((rows, words), dtype=_WORD_DTYPE)
-    shifts = np.arange(WORD_BITS, dtype=np.uint64)
     for word_index in range(words):
         bits_here = min(WORD_BITS, bit_count - word_index * WORD_BITS)
         draws = rng.random((rows, bits_here)) < probabilities[:, None]
-        # Pack booleans: sum of 2^k over set bit positions.
-        weights = (np.uint64(1) << shifts[:bits_here]).astype(np.uint64)
-        matrix[:, word_index] = (draws.astype(np.uint64) * weights).sum(
-            axis=1, dtype=np.uint64
-        )
+        matrix[:, word_index] = _pack_word(draws)
     return matrix
+
+
+def pack_bool_matrix(masks: np.ndarray) -> np.ndarray:
+    """Pack a ``(bit_count, rows)`` boolean matrix into ``(rows, words)``.
+
+    Bit ``k`` of packed row ``i`` is ``masks[k, i]`` — the layout of
+    :func:`sample_bit_matrix`, but for *externally supplied* draws.  The
+    batch engine (:mod:`repro.engine.batch`) uses this to pack a chunk of
+    individually-seeded world masks into the shared-BFS bit layout without
+    giving up per-world determinism.
+    """
+    if masks.ndim != 2:
+        raise ValueError(f"expected 2-D boolean matrix, got shape {masks.shape}")
+    bit_count, rows = masks.shape
+    words = packed_words(bit_count)
+    matrix = np.zeros((rows, words), dtype=_WORD_DTYPE)
+    for word_index in range(words):
+        block = masks[word_index * WORD_BITS : (word_index + 1) * WORD_BITS]
+        matrix[:, word_index] = _pack_word(block.T)
+    return matrix
+
+
+def prefix_mask(bit_count: int, words: int) -> np.ndarray:
+    """A ``words``-word vector with only the first ``bit_count`` bits set.
+
+    Like :func:`full_row` but padded/truncated to a fixed word width, so it
+    can mask rows of an existing bit matrix (e.g. "count only the worlds a
+    query's budget covers" in the batch engine).
+    """
+    if bit_count < 0:
+        raise ValueError(f"bit_count must be non-negative, got {bit_count}")
+    row = np.zeros(words, dtype=_WORD_DTYPE)
+    full_words = min(bit_count // WORD_BITS, words)
+    row[:full_words] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    tail = bit_count - full_words * WORD_BITS
+    if tail and full_words < words:
+        row[full_words] = np.uint64((1 << tail) - 1)
+    return row
 
 
 def popcount(row: np.ndarray) -> int:
@@ -122,6 +167,8 @@ __all__ = [
     "zeros",
     "full_row",
     "sample_bit_matrix",
+    "pack_bool_matrix",
+    "prefix_mask",
     "popcount",
     "popcount_rows",
     "get_bit",

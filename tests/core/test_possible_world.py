@@ -8,6 +8,7 @@ from repro.core.possible_world import (
     EDGE_ABSENT,
     EDGE_PRESENT,
     ReachabilitySampler,
+    forced_from_mask,
     reachable_in_world,
     sample_world,
     world_probability,
@@ -140,3 +141,56 @@ class TestReachabilitySampler:
             for _ in range(30_000)
         )
         assert fused == pytest.approx(hits / 30_000, abs=0.015)
+
+
+class TestReachTargets:
+    """The multi-target sweep used by the batch engine (repro.engine)."""
+
+    def test_matches_single_target_indicator(self):
+        graph = random_graph(5)
+        sampler = ReachabilitySampler(graph)
+        rng = np.random.default_rng(0)
+        targets = np.arange(graph.node_count)
+        for _ in range(50):
+            mask = sample_world(graph, rng)
+            reached = sampler.reach_targets(
+                0, targets, forced=forced_from_mask(mask)
+            )
+            for target in targets:
+                assert reached[target] == reachable_in_world(
+                    graph, mask, 0, int(target)
+                )
+
+    def test_source_in_targets_always_reached(self, chain_graph):
+        sampler = ReachabilitySampler(chain_graph)
+        forced = np.full(3, EDGE_ABSENT, dtype=np.int8)
+        reached = sampler.reach_targets(1, np.array([1, 3]), forced=forced)
+        assert reached.tolist() == [True, False]
+
+    def test_max_hops_bounds_the_sweep(self, chain_graph):
+        sampler = ReachabilitySampler(chain_graph)
+        forced = np.full(3, EDGE_PRESENT, dtype=np.int8)
+        reached = sampler.reach_targets(
+            0, np.array([1, 2, 3]), forced=forced, max_hops=2
+        )
+        assert reached.tolist() == [True, True, False]
+
+    def test_requires_rng_or_forced(self, chain_graph):
+        sampler = ReachabilitySampler(chain_graph)
+        with pytest.raises(ValueError):
+            sampler.reach_targets(0, np.array([3]))
+
+    def test_probabilistic_mode_matches_sample(self, diamond_graph):
+        # With an rng and no forcing, reach_targets on a single target is
+        # the same Bernoulli draw as sample() under the same stream.
+        sampler = ReachabilitySampler(diamond_graph)
+        hits_multi = sum(
+            sampler.reach_targets(
+                0, np.array([3]), rng=np.random.default_rng(i)
+            )[0]
+            for i in range(500)
+        )
+        hits_single = sum(
+            sampler.sample(0, 3, np.random.default_rng(i)) for i in range(500)
+        )
+        assert hits_multi == hits_single

@@ -1,0 +1,68 @@
+"""Tests for the LRU result cache and graph fingerprinting."""
+
+from repro.core.graph import UncertainGraph
+from repro.engine.cache import ResultCache, graph_fingerprint, result_key
+
+
+class TestGraphFingerprint:
+    def test_identical_graphs_share_fingerprint(self):
+        edges = [(0, 1, 0.5), (1, 2, 0.25)]
+        a = UncertainGraph(3, edges)
+        b = UncertainGraph(3, edges)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_probability_change_changes_fingerprint(self):
+        a = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        b = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.26)])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_structure_change_changes_fingerprint(self):
+        a = UncertainGraph(3, [(0, 1, 0.5)])
+        b = UncertainGraph(3, [(0, 2, 0.5)])
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_fingerprint_is_memoised(self):
+        graph = UncertainGraph(3, [(0, 1, 0.5)])
+        assert graph_fingerprint(graph) is graph_fingerprint(graph)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        key = result_key("fp", 0, 1, 100, 7)
+        assert cache.get(key) is None
+        cache.put(key, 0.5)
+        assert cache.get(key) == 0.5
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_seeds_do_not_collide(self):
+        cache = ResultCache(capacity=4)
+        cache.put(result_key("fp", 0, 1, 100, 7), 0.5)
+        assert cache.get(result_key("fp", 0, 1, 100, 8)) is None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        first = result_key("fp", 0, 1, 10, 0)
+        second = result_key("fp", 0, 2, 10, 0)
+        third = result_key("fp", 0, 3, 10, 0)
+        cache.put(first, 0.1)
+        cache.put(second, 0.2)
+        assert cache.get(first) == 0.1  # promote `first`
+        cache.put(third, 0.3)  # evicts `second`, the LRU entry
+        assert second not in cache
+        assert first in cache and third in cache
+        assert len(cache) == 2
+
+    def test_statistics_shape(self):
+        cache = ResultCache(capacity=3)
+        cache.put(result_key("fp", 0, 1, 10, 0), 0.1)
+        cache.get(result_key("fp", 0, 1, 10, 0))
+        stats = cache.statistics()
+        assert stats == {"size": 1, "capacity": 3, "hits": 1, "misses": 0}
+
+    def test_clear(self):
+        cache = ResultCache(capacity=3)
+        cache.put(result_key("fp", 0, 1, 10, 0), 0.1)
+        cache.clear()
+        assert len(cache) == 0

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -130,3 +132,154 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["teleport"])
+
+
+class TestBatch:
+    def _write_queries(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_text_workload(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200\n0 7\n# comment\n3 9 100\n")
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--samples", "150"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["query_count"] == 3
+        assert report["engine"]["mode"] == "shared_worlds"
+        assert report["engine"]["worlds_sampled"] == 200  # max K once
+        assert report["results"][1]["samples"] == 150  # default K applied
+        for row in report["results"]:
+            assert 0.0 <= row["estimate"] <= 1.0
+
+    def test_json_workload(self, capsys, tmp_path):
+        path = self._write_queries(
+            tmp_path,
+            '[[0, 5, 200], {"source": 0, "target": 7}, [3, 9]]',
+        )
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["query_count"] == 3
+        assert report["results"][1]["samples"] == 1000  # CLI default K
+
+    def test_sequential_agrees_exactly(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 300\n3 9 150\n")
+        args = ["batch", "--queries", path, "--dataset", "lastfm",
+                "--scale", "tiny", "--seed", "3"]
+        main(args)
+        shared = json.loads(capsys.readouterr().out)
+        main(args + ["--sequential"])
+        sequential = json.loads(capsys.readouterr().out)
+        assert shared["engine"]["mode"] == "shared_worlds"
+        assert sequential["engine"]["mode"] == "sequential"
+        assert [r["estimate"] for r in shared["results"]] == [
+            r["estimate"] for r in sequential["results"]
+        ]
+
+    def test_fallback_method_loops_per_query(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100\n")
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--method", "rhh"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["engine"]["mode"] == "per_query_loop"
+
+    def test_output_file(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100\n")
+        out = tmp_path / "report.json"
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--output", str(out)]
+        )
+        assert code == 0
+        assert "wrote 1 results" in capsys.readouterr().out
+        assert json.loads(out.read_text())["query_count"] == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100 7 9\n")
+        with pytest.raises(ValueError):
+            main(
+                ["batch", "--queries", path, "--dataset", "lastfm",
+                 "--scale", "tiny"]
+            )
+
+
+class TestStudyBatch:
+    def test_batched_study_runs(self, capsys):
+        code = main(
+            [
+                "study", "--dataset", "lastfm", "--scale", "tiny",
+                "--pairs", "2", "--repeats", "2", "--kmax", "500",
+                "--estimators", "mc", "--batch",
+            ]
+        )
+        assert code == 0
+        assert "Accuracy" in capsys.readouterr().out
+
+
+class TestBatchValidation:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "queries.json"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_short_json_entry_rejected_with_context(self, tmp_path):
+        path = self._write(tmp_path, "[[5]]")
+        with pytest.raises(ValueError, match="entry 0"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny"])
+
+    def test_long_json_entry_rejected(self, tmp_path):
+        path = self._write(tmp_path, "[[0, 5, 100, 999]]")
+        with pytest.raises(ValueError, match="entry 0"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny"])
+
+    def test_object_missing_target_rejected(self, tmp_path):
+        path = self._write(tmp_path, '[{"source": 0}]')
+        with pytest.raises(ValueError, match="'source' and 'target'"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny"])
+
+    def test_sequential_requires_mc(self, tmp_path):
+        path = self._write(tmp_path, "[[0, 5, 100]]")
+        with pytest.raises(SystemExit, match="--method mc"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny", "--method", "rhh", "--sequential"])
+
+    def test_chunk_size_requires_mc(self, tmp_path):
+        path = self._write(tmp_path, "[[0, 5, 100]]")
+        with pytest.raises(SystemExit, match="--method mc"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny", "--method", "rhh", "--chunk-size", "8"])
+
+
+class TestBatchJsonForms:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "queries.json"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_unwrapped_single_object_accepted(self, capsys, tmp_path):
+        path = self._write(tmp_path, '{"source": 0, "target": 5}')
+        code = main(["batch", "--queries", path, "--dataset", "lastfm",
+                     "--scale", "tiny", "--samples", "120"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["query_count"] == 1
+        assert report["results"][0]["samples"] == 120
+
+    def test_scalar_entry_rejected_with_context(self, tmp_path):
+        path = self._write(tmp_path, "[5, 7]")
+        with pytest.raises(ValueError, match="entry 0"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny"])

@@ -114,3 +114,48 @@ class TestConcatenateRanges:
         np.testing.assert_array_equal(
             bitset.concatenate_ranges(starts, ends), expected
         )
+
+
+class TestPackBoolMatrix:
+    def test_roundtrip_via_get_bit(self):
+        rng = np.random.default_rng(0)
+        masks = rng.random((70, 5)) < 0.4  # spans a word boundary
+        packed = bitset.pack_bool_matrix(masks)
+        assert packed.shape == (5, bitset.packed_words(70))
+        for bit in range(70):
+            for row in range(5):
+                assert bitset.get_bit(packed[row], bit) == masks[bit, row]
+
+    def test_matches_sample_bit_matrix_layout(self):
+        # Packing externally-drawn booleans must land in the same layout
+        # sample_bit_matrix produces, so the fixpoint kernel can consume it.
+        rng = np.random.default_rng(1)
+        probs = np.array([0.3, 0.8])
+        sampled = bitset.sample_bit_matrix(probs, 64, np.random.default_rng(2))
+        draws = np.empty((64, 2), dtype=bool)
+        replay = np.random.default_rng(2)
+        for word_bits in [replay.random((2, 64)) < probs[:, None]]:
+            draws[:] = word_bits.T
+        packed = bitset.pack_bool_matrix(draws)
+        assert np.array_equal(packed, sampled)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            bitset.pack_bool_matrix(np.zeros(4, dtype=bool))
+
+
+class TestPrefixMask:
+    def test_counts_only_prefix_bits(self):
+        mask = bitset.prefix_mask(70, 2)
+        assert bitset.popcount(mask) == 70
+
+    def test_zero_bits(self):
+        assert bitset.popcount(bitset.prefix_mask(0, 3)) == 0
+
+    def test_saturates_at_word_width(self):
+        mask = bitset.prefix_mask(500, 2)
+        assert bitset.popcount(mask) == 128
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.prefix_mask(-1, 2)
