@@ -67,8 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(batch)
     batch.add_argument(
         "--queries", required=True,
-        help="query file: one 's t [K]' per line, or a JSON list of "
-             "[source, target, samples] triples / objects",
+        help="query file: one 's t [K [d]]' per line, or a JSON list of "
+             "[source, target(, samples(, max_hops))] entries / objects "
+             "(object keys: source, target, samples, max_hops)",
     )
     batch.add_argument(
         "--samples", "-K", type=int, default=1_000,
@@ -83,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=None,
         help=f"worlds materialised per streaming step "
              f"(default: {DEFAULT_CHUNK_SIZE})",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the engine's chunk sweep (default: "
+             "$REPRO_ENGINE_WORKERS or 1); results are bit-identical to "
+             "the serial sweep",
+    )
+    batch.add_argument(
+        "--max-hops", type=int, default=None,
+        help="d-hop reliability (§2.9): bound every query that does not "
+             "carry its own max_hops to this many edges",
     )
     batch.add_argument(
         "--sequential", action="store_true",
@@ -144,14 +156,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", action="store_true",
         help="submit each repeat's workload as one estimate_batch() call",
     )
+    study.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for engine-backed batch evaluation "
+             "(requires --batch; cannot change any estimate)",
+    )
     return parser
 
 
-def _parse_query_file(path: str, default_samples: int) -> List[Tuple[int, int, int]]:
-    """Read a workload file: JSON triples/objects, or 's t [K]' text lines."""
+#: A parsed workload entry: (source, target, samples, max_hops-or-None).
+BatchQueryTuple = Tuple[int, int, int, Optional[int]]
+
+
+def _parse_query_file(
+    path: str, default_samples: int
+) -> List[BatchQueryTuple]:
+    """Read a workload file: JSON entries/objects, or 's t [K [d]]' lines.
+
+    The optional trailing ``d`` / ``max_hops`` is the §2.9 hop bound;
+    entries without one get ``None`` (resolved against ``--max-hops`` by
+    the batch command).
+    """
     text = Path(path).read_text(encoding="utf-8")
     stripped = text.lstrip()
-    queries: List[Tuple[int, int, int]] = []
+    queries: List[BatchQueryTuple] = []
     if stripped.startswith(("[", "{")):
         loaded = json.loads(stripped)
         if isinstance(loaded, dict):
@@ -160,8 +188,8 @@ def _parse_query_file(path: str, default_samples: int) -> List[Tuple[int, int, i
             if not isinstance(entry, (list, tuple, dict)):
                 raise ValueError(
                     f"{path}: entry {position}: expected "
-                    f"[source, target(, samples)] or a query object, "
-                    f"got {entry!r}"
+                    f"[source, target(, samples(, max_hops))] or a query "
+                    f"object, got {entry!r}"
                 )
             if isinstance(entry, dict):
                 if "source" not in entry or "target" not in entry:
@@ -169,38 +197,85 @@ def _parse_query_file(path: str, default_samples: int) -> List[Tuple[int, int, i
                         f"{path}: entry {position}: query objects need "
                         f"'source' and 'target' keys, got {entry!r}"
                     )
+                max_hops = entry.get("max_hops")
                 queries.append(
                     (
                         int(entry["source"]),
                         int(entry["target"]),
                         int(entry.get("samples", default_samples)),
+                        None if max_hops is None else int(max_hops),
                     )
                 )
             else:
-                parts = [int(part) for part in entry]
-                if len(parts) not in (2, 3):
+                parts = list(entry)
+                if len(parts) not in (2, 3, 4):
                     raise ValueError(
                         f"{path}: entry {position}: expected "
-                        f"[source, target] or [source, target, samples], "
+                        f"[source, target(, samples(, max_hops))], "
                         f"got {entry!r}"
                     )
-                if len(parts) == 2:
-                    parts.append(default_samples)
-                queries.append((parts[0], parts[1], parts[2]))
+                try:
+                    head = [int(part) for part in parts[:3]]
+                    # A trailing null mirrors the object form's
+                    # "max_hops": null — an explicit "no bound".
+                    tail = parts[3] if len(parts) == 4 else None
+                    max_hops = None if tail is None else int(tail)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"{path}: entry {position}: non-numeric value in "
+                        f"{entry!r}"
+                    ) from None
+                while len(head) < 3:
+                    head.append(default_samples)
+                queries.append((head[0], head[1], head[2], max_hops))
         return queries
     for line_number, line in enumerate(text.splitlines(), start=1):
         body = line.split("#", 1)[0].strip()
         if not body:
             continue
         parts = body.split()
-        if len(parts) not in (2, 3):
+        if len(parts) not in (2, 3, 4):
             raise ValueError(
-                f"{path}:{line_number}: expected 'source target [samples]', "
-                f"got {line!r}"
+                f"{path}:{line_number}: expected "
+                f"'source target [samples [max_hops]]', got {line!r}"
             )
-        samples = int(parts[2]) if len(parts) == 3 else default_samples
-        queries.append((int(parts[0]), int(parts[1]), samples))
+        samples = int(parts[2]) if len(parts) >= 3 else default_samples
+        max_hops = int(parts[3]) if len(parts) == 4 else None
+        queries.append((int(parts[0]), int(parts[1]), samples, max_hops))
     return queries
+
+
+def _validate_batch_queries(
+    queries: List[BatchQueryTuple], node_count: int, path: str
+) -> None:
+    """Reject malformed queries before any sampling starts.
+
+    The engine (and each estimator) validates too, but deep in the sweep
+    and without file context; failing here turns "ValueError from
+    plan_queries" into "which entry of your file is wrong".
+    """
+    for position, (source, target, samples, max_hops) in enumerate(queries):
+        context = f"repro batch: {path}: query {position}"
+        if not 0 <= source < node_count:
+            raise SystemExit(
+                f"{context}: source {source} out of range for a graph "
+                f"with {node_count} nodes"
+            )
+        if not 0 <= target < node_count:
+            raise SystemExit(
+                f"{context}: target {target} out of range for a graph "
+                f"with {node_count} nodes"
+            )
+        if samples <= 0:
+            raise SystemExit(
+                f"{context}: samples must be a positive integer, "
+                f"got {samples}"
+            )
+        if max_hops is not None and max_hops <= 0:
+            raise SystemExit(
+                f"{context}: max_hops must be a positive integer, "
+                f"got {max_hops}"
+            )
 
 
 def _command_estimate(args: argparse.Namespace) -> int:
@@ -218,8 +293,25 @@ def _command_estimate(args: argparse.Namespace) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
+    if args.max_hops is not None and args.max_hops <= 0:
+        raise SystemExit(
+            f"repro batch: --max-hops must be a positive integer, "
+            f"got {args.max_hops}"
+        )
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit(
+            f"repro batch: --workers must be a positive integer, "
+            f"got {args.workers}"
+        )
     dataset = load_dataset(args.dataset, args.scale, args.seed)
     queries = _parse_query_file(args.queries, args.samples)
+    if args.max_hops is not None:
+        queries = [
+            (source, target, samples,
+             args.max_hops if max_hops is None else max_hops)
+            for source, target, samples, max_hops in queries
+        ]
+    _validate_batch_queries(queries, dataset.graph.node_count, args.queries)
     report = {
         "dataset": dataset.key,
         "scale": args.scale,
@@ -228,11 +320,18 @@ def _command_batch(args: argparse.Namespace) -> int:
         "query_count": len(queries),
     }
     if args.method == "mc":
+        if args.sequential and args.workers is not None and args.workers > 1:
+            raise SystemExit(
+                "repro batch: the --sequential oracle re-materialises "
+                "worlds per query in-process; --workers applies only to "
+                "the shared-world sweep"
+            )
         chunk_size = (
             DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size
         )
         engine = BatchEngine(
-            dataset.graph, seed=args.seed, chunk_size=chunk_size
+            dataset.graph, seed=args.seed, chunk_size=chunk_size,
+            workers=args.workers,
         )
         result = (
             engine.run_sequential(queries)
@@ -242,6 +341,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         report["engine"] = {
             "mode": "sequential" if args.sequential else "shared_worlds",
             "chunk_size": chunk_size,
+            "workers": result.workers,
             "worlds_sampled": result.worlds_sampled,
             "sweeps": result.sweeps,
             "cache_hits": result.cache_hits,
@@ -256,6 +356,16 @@ def _command_batch(args: argparse.Namespace) -> int:
                 "--method mc (the engine fast path); other methods use the "
                 "per-query loop"
             )
+        if args.workers is not None:
+            raise SystemExit(
+                "repro batch: --workers applies only to --method mc (the "
+                "engine fast path); other methods use the per-query loop"
+            )
+        if any(max_hops is not None for *_, max_hops in queries):
+            raise SystemExit(
+                "repro batch: hop-bounded (max_hops) queries need the "
+                "shared-world engine; use --method mc"
+            )
         estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
         estimator.prepare()
         estimates = estimator.estimate_batch(queries, seed=args.seed)
@@ -265,9 +375,12 @@ def _command_batch(args: argparse.Namespace) -> int:
                 "source": source,
                 "target": target,
                 "samples": samples,
+                "max_hops": max_hops,
                 "estimate": float(estimate),
             }
-            for (source, target, samples), estimate in zip(queries, estimates)
+            for (source, target, samples, max_hops), estimate in zip(
+                queries, estimates
+            )
         ]
     payload = json.dumps(report, indent=2)
     if args.output == "-":
@@ -337,6 +450,10 @@ def _command_recommend(args: argparse.Namespace) -> int:
 
 
 def _command_study(args: argparse.Namespace) -> int:
+    if args.workers is not None and not args.batch:
+        raise SystemExit(
+            "repro study: --workers rides on the batch engine; add --batch"
+        )
     config = StudyConfig(
         dataset=args.dataset,
         scale=args.scale,
@@ -346,6 +463,7 @@ def _command_study(args: argparse.Namespace) -> int:
         estimators=tuple(args.estimators),
         seed=args.seed,
         use_batch_engine=args.batch,
+        engine_workers=args.workers,
     )
     result = run_study(config)
     print(

@@ -104,8 +104,9 @@ class Estimator(abc.ABC):
         queries: Iterable[Sequence[int]],
         *,
         seed: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
-        """Estimate a whole workload of ``(source, target, samples)`` triples.
+        """Estimate a workload of ``(source, target, samples[, max_hops])``.
 
         Default implementation: the per-query loop — one :meth:`estimate`
         per triple, each on a substream keyed by ``(seed, source, target,
@@ -116,9 +117,36 @@ class Estimator(abc.ABC):
         (:mod:`repro.engine`), which samples each possible world once for
         the whole workload (paper §2.2/§3.7).
 
+        ``workers`` is a parallelism knob for engine-backed fast paths;
+        the per-query fallback has nothing to fan out and ignores it.
+        Hop-bounded queries (§2.9 d-hop reliability) need a shared-world
+        sweep, which a generic estimator does not have — the fallback
+        rejects them rather than silently answering the unbounded query.
+
         Returns estimates aligned with the input order.
         """
-        workload = [tuple(int(part) for part in query) for query in queries]
+        # Coerced here rather than via repro.engine.plan.as_query: core
+        # must not import upward into engine (see docs/architecture.md).
+        workload = []
+        for query in queries:
+            parts = tuple(query)
+            if len(parts) == 3:
+                max_hops = None
+            elif len(parts) == 4:
+                max_hops = parts[3]
+            else:
+                raise ValueError(
+                    f"a query is (source, target, samples[, max_hops]), "
+                    f"got {query!r}"
+                )
+            if max_hops is not None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} has no d-hop batch fast path; "
+                    "hop-bounded (max_hops) workloads are served by the "
+                    "shared-world engine — use the 'mc' estimator or "
+                    "repro.engine.BatchEngine directly"
+                )
+            workload.append(tuple(int(part) for part in parts[:3]))
         results = np.empty(len(workload), dtype=np.float64)
         for index, (source, target, samples) in enumerate(workload):
             rng = (

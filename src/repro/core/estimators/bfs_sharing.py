@@ -48,6 +48,7 @@ def shared_reachability_fixpoint(
     edge_bits: np.ndarray,
     source: int,
     bit_count: int,
+    max_hops: Optional[int] = None,
 ) -> tuple:
     """The shared-BFS dataflow fixpoint (Algs. 2-3) over given edge bits.
 
@@ -56,6 +57,14 @@ def shared_reachability_fixpoint(
     worklist to the unique monotone fixpoint.  Returns
     ``(node_bits, edges_probed)`` where ``node_bits[v]``'s bit ``k`` says
     "``v`` is reachable from ``source`` in world ``k``".
+
+    With ``max_hops`` the propagation runs *level-synchronously* for at
+    most ``max_hops`` rounds, so bit ``k`` of ``node_bits[v]`` says
+    "``v`` is within ``max_hops`` edges of ``source`` in world ``k``" —
+    the distance-constrained indicator of §2.9, evaluated for all worlds
+    of the chunk at once.  Each round propagates from a snapshot of the
+    frontier's vectors, so a bit advances exactly one edge per round
+    (per-world BFS levels, bitwise in parallel).
 
     Factored out of :class:`BFSSharingEstimator` so the batch engine
     (:mod:`repro.engine.batch`) can run the same kernel over *chunks* of
@@ -71,10 +80,39 @@ def shared_reachability_fixpoint(
     node_bits = np.zeros((graph.node_count, words), dtype=np.uint64)
     node_bits[source] = bitset.full_row(bit_count)
     indptr, targets = graph.indptr, graph.targets
+    edges_probed = 0
+
+    if max_hops is not None:
+        frontier = np.asarray([source], dtype=np.int64)
+        for _ in range(max_hops):
+            if frontier.size == 0:
+                break
+            # Snapshot the frontier's vectors: bits must travel exactly one
+            # edge per round, even when a frontier node's row grows while
+            # the round is still being applied.
+            frontier_bits = node_bits[frontier].copy()
+            in_next = np.zeros(graph.node_count, dtype=bool)
+            for position, node in enumerate(frontier):
+                start, stop = indptr[node], indptr[node + 1]
+                if start == stop:
+                    continue
+                edges_probed += stop - start
+                contribution = (
+                    edge_bits[start:stop] & frontier_bits[position][None, :]
+                )
+                neighbors = targets[start:stop]
+                updated = node_bits[neighbors] | contribution
+                changed = (updated != node_bits[neighbors]).any(axis=1)
+                if not changed.any():
+                    continue
+                node_bits[neighbors[changed]] = updated[changed]
+                in_next[neighbors[changed]] = True
+            frontier = np.nonzero(in_next)[0]
+        return node_bits, int(edges_probed)
+
     in_worklist = np.zeros(graph.node_count, dtype=bool)
     in_worklist[source] = True
     worklist = deque([source])
-    edges_probed = 0
     while worklist:
         node = worklist.popleft()
         in_worklist[node] = False

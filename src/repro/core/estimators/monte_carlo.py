@@ -46,6 +46,7 @@ class MonteCarloEstimator(Estimator):
         *,
         seed: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Shared-world fast path via the batch engine (paper §2.2/§3.7).
 
@@ -57,6 +58,11 @@ class MonteCarloEstimator(Estimator):
         ``seed=None`` the world-stream root is drawn from the estimator's
         own generator, matching the base class's fallback to the
         constructor seed (reproducible iff the estimator was seeded).
+
+        Unlike the base fallback, this path also serves hop-bounded
+        ``(source, target, samples, max_hops)`` queries (§2.9) and accepts
+        ``workers`` for multiprocess chunk evaluation — both without
+        changing any estimate (the engine's determinism contract).
         """
         from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
 
@@ -66,6 +72,7 @@ class MonteCarloEstimator(Estimator):
             self.graph,
             seed=seed,
             chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            workers=workers,
         )
         self._batch_engine = engine  # memory_bytes() reflects the last path
         return engine.run(queries).estimates

@@ -19,8 +19,23 @@ World ``i`` is a pure function of ``(graph, seed, i)`` — see
 * results are independent of ``chunk_size``, which only bounds how many
   ``(chunk, m)`` world masks are resident at once (memory-bounded
   streaming, the anti-``O(Km)`` stance of §2.3's corrected analysis);
-* estimates are cacheable by ``(graph fingerprint, s, t, K, seed)`` —
-  see :mod:`repro.engine.cache` — because nothing else enters the value.
+* results are independent of ``workers``: the chunk sweep is
+  embarrassingly parallel across chunk ranges, per-chunk hit counts are
+  integers, and integer addition is associative — so fanning chunks out
+  over a process pool (:mod:`repro.engine.parallel`) reduces to the very
+  same counts the serial loop accumulates, **bit for bit**;
+* estimates are cacheable by ``(graph fingerprint, s, t, K, seed,
+  max_hops)`` — see :mod:`repro.engine.cache` — because nothing else
+  enters the value.
+
+Distance-constrained workloads (§2.9): a :class:`~repro.engine.plan.
+BatchQuery` may carry ``max_hops``, in which case its indicator becomes
+"reaches within ``max_hops`` edges".  The planner groups queries by
+``(source, max_hops)`` and both sweep strategies bound their walk — the
+bitset sweep via the level-synchronous mode of
+:func:`~repro.core.estimators.bfs_sharing.shared_reachability_fixpoint`,
+the per-world sweep via ``reach_targets(max_hops=...)`` — so d-hop and
+plain queries are served from one world stream.
 
 Two sweep strategies implement the same semantics:
 
@@ -42,6 +57,7 @@ with each other and with the sequential loop (property-tested in
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
@@ -77,6 +93,26 @@ SWEEP_MODES = ("bitset", "per_world")
 #: used elsewhere (experiment repeats, CLI queries, ...).
 _WORLD_STREAM = 0x57
 
+#: Environment variable supplying the default worker count; lets CI (and
+#: operators) route an unmodified test suite or workload through the
+#: multiprocess path.
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a ``workers`` knob: explicit value, else env var, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+            ) from None
+    return check_positive(workers, "workers")
+
 
 @dataclass(frozen=True)
 class BatchResult:
@@ -86,10 +122,11 @@ class BatchResult:
     estimates: np.ndarray  # aligned with `queries`
     seed: int
     worlds_sampled: int  # worlds drawn during this run
-    sweeps: int  # per-source BFS sweeps performed
+    sweeps: int  # per-group BFS sweeps performed
     cache_hits: int
     cache_misses: int
     seconds: float
+    workers: int = 1  # processes that evaluated chunks (1 = in-process)
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -101,6 +138,7 @@ class BatchResult:
                 "source": query.source,
                 "target": query.target,
                 "samples": query.samples,
+                "max_hops": query.max_hops,
                 "estimate": float(estimate),
             }
             for query, estimate in zip(self.queries, self.estimates)
@@ -125,6 +163,13 @@ class BatchEngine:
         ``"bitset"`` (default, packed fixpoint per chunk) or
         ``"per_world"`` (one kernel sweep per world) — identical results,
         different constants.
+    workers:
+        Number of processes evaluating chunk ranges.  ``None`` reads the
+        ``REPRO_ENGINE_WORKERS`` environment variable (default 1).  With
+        ``workers >= 2`` chunks fan out over a ``ProcessPoolExecutor``
+        (:mod:`repro.engine.parallel`) and the per-query hit counts are
+        summed in the parent — bit-identical to the serial sweep by the
+        determinism contract.
     cache:
         A shared :class:`ResultCache`; by default each engine owns one of
         ``DEFAULT_CACHE_CAPACITY`` entries.
@@ -137,6 +182,7 @@ class BatchEngine:
         seed: Optional[int] = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         sweep: str = "bitset",
+        workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
@@ -150,6 +196,7 @@ class BatchEngine:
                 f"unknown sweep mode {sweep!r}; known: {', '.join(SWEEP_MODES)}"
             )
         self.sweep = sweep
+        self.workers = resolve_workers(workers)
         self.cache = cache if cache is not None else ResultCache(cache_capacity)
         self.fingerprint = graph_fingerprint(graph)
         self._sampler = ReachabilitySampler(graph)
@@ -199,11 +246,13 @@ class BatchEngine:
         pending: np.ndarray,
         hits: np.ndarray,
     ) -> int:
-        """Packed sweep: one fixpoint per source covers the whole chunk.
+        """Packed sweep: one fixpoint per group covers the whole chunk.
 
         The chunk's masks become a BFS-Sharing-style edge bit matrix; the
         shared fixpoint then resolves every (source, target, world) triple
         at once, and per-query prefix masks keep each budget exact.
+        Hop-bounded groups run the fixpoint in its level-synchronous
+        ``max_hops`` mode (the §2.9 d-hop indicator).
         """
         edge_bits = bitset.pack_bool_matrix(masks)
         words = edge_bits.shape[1]
@@ -225,7 +274,8 @@ class BatchEngine:
             if not live.any():
                 continue
             node_bits, _ = shared_reachability_fixpoint(
-                self.graph, edge_bits, group.source, count
+                self.graph, edge_bits, group.source, count,
+                max_hops=group.max_hops,
             )
             rows = node_bits[group.targets[live]]
             budget_masks = np.stack(
@@ -246,7 +296,7 @@ class BatchEngine:
         pending: np.ndarray,
         hits: np.ndarray,
     ) -> int:
-        """Per-world sweep: one fused-kernel walk per (world, source)."""
+        """Per-world sweep: one fused-kernel walk per (world, group)."""
         sweeps = 0
         for offset in range(count):
             world = chunk_start + offset
@@ -258,11 +308,38 @@ class BatchEngine:
                 if not live.any():
                     continue
                 reached = self._sampler.reach_targets(
-                    group.source, group.targets[live], forced=forced
+                    group.source, group.targets[live], forced=forced,
+                    max_hops=group.max_hops,
                 )
                 hits[group.query_indices[live]] += reached
                 sweeps += 1
         return sweeps
+
+    def evaluate_chunk(
+        self,
+        chunk_start: int,
+        count: int,
+        groups,
+        pending: np.ndarray,
+        unique_count: int,
+    ) -> Tuple[np.ndarray, int]:
+        """Evaluate worlds ``chunk_start .. chunk_start + count`` standalone.
+
+        Returns fresh per-unique-query hit counts plus the number of sweeps
+        performed.  Pure in ``(graph, seed, sweep, arguments)`` — it reads
+        no mutable engine state — which is what lets
+        :mod:`repro.engine.parallel` run chunk ranges in worker processes
+        and sum the counts in any order without changing a single bit.
+        """
+        masks = self._mask_chunk(chunk_start, count)
+        hits = np.zeros(unique_count, dtype=np.int64)
+        sweep_chunk = (
+            self._sweep_chunk_bitset
+            if self.sweep == "bitset"
+            else self._sweep_chunk_per_world
+        )
+        sweeps = sweep_chunk(masks, chunk_start, count, groups, pending, hits)
+        return hits, sweeps
 
     def memory_bytes(self) -> int:
         """Approximate peak working set of one chunk sweep (graph included).
@@ -290,12 +367,21 @@ class BatchEngine:
     # Evaluation strategies
     # ------------------------------------------------------------------
 
+    def _query_key(self, query: BatchQuery):
+        return result_key(
+            self.fingerprint, query.source, query.target,
+            query.samples, self.seed, query.max_hops,
+        )
+
     def run(self, queries: Iterable[QueryLike]) -> BatchResult:
         """Answer a workload with the shared-world fast path.
 
         Worlds stream in ``chunk_size`` blocks; each world is swept once
-        per distinct source still holding unresolved queries.  Cached
-        queries are served without sampling at all.
+        per ``(source, max_hops)`` group still holding unresolved queries.
+        Cached queries are served without sampling at all.  With
+        ``workers >= 2`` and more than one chunk, chunk ranges are
+        evaluated by a process pool and reduced here — bit-identical to
+        the in-process loop (see the determinism contract).
         """
         started = time.perf_counter()
         plan = plan_queries(self.graph, queries)
@@ -304,11 +390,7 @@ class BatchEngine:
         cache_hits = cache_misses = 0
 
         for index, query in enumerate(plan.queries):
-            key = result_key(
-                self.fingerprint, query.source, query.target,
-                query.samples, self.seed,
-            )
-            cached = self.cache.get(key)
+            cached = self.cache.get(self._query_key(query))
             if cached is None:
                 cache_misses += 1
                 pending[index] = True
@@ -317,8 +399,8 @@ class BatchEngine:
                 unique_estimates[index] = cached
 
         worlds = sweeps = 0
+        effective_workers = 1
         if pending.any():
-            hits = np.zeros(plan.unique_count, dtype=np.int64)
             budgets = np.asarray(
                 [query.samples for query in plan.queries], dtype=np.int64
             )
@@ -328,26 +410,32 @@ class BatchEngine:
                 if pending[group.query_indices].any()
             ]
             k_needed = int(budgets[pending].max())
-            sweep_chunk = (
-                self._sweep_chunk_bitset
-                if self.sweep == "bitset"
-                else self._sweep_chunk_per_world
-            )
-            for chunk_start in range(0, k_needed, self.chunk_size):
-                count = min(self.chunk_size, k_needed - chunk_start)
-                masks = self._mask_chunk(chunk_start, count)
-                worlds += count
-                sweeps += sweep_chunk(
-                    masks, chunk_start, count, groups, pending, hits
+            tasks = [
+                (chunk_start, min(self.chunk_size, k_needed - chunk_start))
+                for chunk_start in range(0, k_needed, self.chunk_size)
+            ]
+            if self.workers > 1 and len(tasks) > 1:
+                from repro.engine.parallel import evaluate_chunks_parallel
+
+                effective_workers = min(self.workers, len(tasks))
+                hits, sweeps = evaluate_chunks_parallel(
+                    self, tasks, groups, pending, plan.unique_count,
+                    effective_workers,
                 )
+            else:
+                hits = np.zeros(plan.unique_count, dtype=np.int64)
+                for chunk_start, count in tasks:
+                    chunk_hits, chunk_sweeps = self.evaluate_chunk(
+                        chunk_start, count, groups, pending,
+                        plan.unique_count,
+                    )
+                    hits += chunk_hits
+                    sweeps += chunk_sweeps
+            worlds = k_needed
             unique_estimates[pending] = hits[pending] / budgets[pending]
             for index in np.nonzero(pending)[0]:
-                query = plan.queries[index]
                 self.cache.put(
-                    result_key(
-                        self.fingerprint, query.source, query.target,
-                        query.samples, self.seed,
-                    ),
+                    self._query_key(plan.queries[index]),
                     float(unique_estimates[index]),
                 )
 
@@ -360,6 +448,7 @@ class BatchEngine:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             seconds=time.perf_counter() - started,
+            workers=effective_workers,
         )
 
     def run_sequential(self, queries: Iterable[QueryLike]) -> BatchResult:
@@ -385,7 +474,8 @@ class BatchEngine:
                 worlds += 1
                 hits += int(
                     self._sampler.reach_targets(
-                        query.source, target, forced=forced
+                        query.source, target, forced=forced,
+                        max_hops=query.max_hops,
                     )[0]
                 )
                 sweeps += 1
@@ -408,16 +498,21 @@ def estimate_workload(
     *,
     seed: Optional[int] = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: Optional[int] = None,
 ) -> BatchResult:
     """One-shot convenience wrapper: plan, run, return the report."""
-    engine = BatchEngine(graph, seed=seed, chunk_size=chunk_size)
+    engine = BatchEngine(
+        graph, seed=seed, chunk_size=chunk_size, workers=workers
+    )
     return engine.run(queries)
 
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "SWEEP_MODES",
+    "WORKERS_ENV_VAR",
     "BatchResult",
     "BatchEngine",
     "estimate_workload",
+    "resolve_workers",
 ]

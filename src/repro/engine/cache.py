@@ -3,7 +3,10 @@
 Because the engine's world stream is a pure function of
 ``(graph fingerprint, seed, world index)`` — see
 :meth:`repro.engine.batch.BatchEngine.world_mask` — an estimate is fully
-determined by the key ``(graph fingerprint, source, target, K, seed)``.
+determined by the key ``(graph fingerprint, source, target, K, seed,
+max_hops)``.  The hop bound is part of the key because a d-hop query
+(§2.9) answers a *different indicator* over the same worlds: a ``(s, t,
+K, seed)`` hit must never be served across different ``max_hops`` values.
 Caching on that key is therefore *exact*, not approximate: a hit replays
 the very number a fresh evaluation would produce.  This mirrors the paper's
 observation (§2.2/§3.7) that the expensive part of an estimate is sampling,
@@ -25,8 +28,12 @@ from typing import Dict, Optional, Tuple
 from repro.core.graph import UncertainGraph
 from repro.util.validation import check_positive
 
-#: Cache key: (graph fingerprint, source, target, samples, seed).
-ResultKey = Tuple[str, int, int, int, int]
+#: Cache key: (graph fingerprint, source, target, samples, seed, max_hops)
+#: with the unbounded hop budget encoded as ``UNBOUNDED_HOPS``.
+ResultKey = Tuple[str, int, int, int, int, int]
+
+#: Key encoding of "no hop bound" (hop bounds are strictly positive).
+UNBOUNDED_HOPS = -1
 
 DEFAULT_CACHE_CAPACITY = 4096
 
@@ -54,10 +61,26 @@ def graph_fingerprint(graph: UncertainGraph) -> str:
 
 
 def result_key(
-    fingerprint: str, source: int, target: int, samples: int, seed: int
+    fingerprint: str,
+    source: int,
+    target: int,
+    samples: int,
+    seed: int,
+    max_hops: Optional[int] = None,
 ) -> ResultKey:
-    """The canonical cache key for one estimate."""
-    return (fingerprint, int(source), int(target), int(samples), int(seed))
+    """The canonical cache key for one estimate.
+
+    ``max_hops=None`` (plain reliability) and every concrete hop bound map
+    to distinct keys, so d-hop and unbounded estimates never alias.
+    """
+    return (
+        fingerprint,
+        int(source),
+        int(target),
+        int(samples),
+        int(seed),
+        UNBOUNDED_HOPS if max_hops is None else int(max_hops),
+    )
 
 
 class ResultCache:
@@ -112,6 +135,7 @@ class ResultCache:
 
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
+    "UNBOUNDED_HOPS",
     "ResultKey",
     "ResultCache",
     "graph_fingerprint",

@@ -9,10 +9,13 @@ possible.  Planning prepares a raw workload for the shared-world sweep of
   the graph once, so the sweep loop runs assertion-free;
 * **Deduplication** — repeated queries collapse to one slot, evaluated once
   and scattered back to every original position;
-* **Source grouping** — queries sharing a source share one BFS sweep per
-  world (the multi-target generalisation of Alg. 1's early-terminating
-  walk), exactly the "share the traversal, not just the worlds" trick of
-  BFS Sharing (§2.3) applied at batch granularity.
+* **Grouping by (source, hop bound)** — queries sharing a source *and* a
+  hop bound share one BFS sweep per world (the multi-target generalisation
+  of Alg. 1's early-terminating walk), exactly the "share the traversal,
+  not just the worlds" trick of BFS Sharing (§2.3) applied at batch
+  granularity.  Distance-constrained queries (§2.9 d-hop reliability)
+  carry an optional ``max_hops`` bound and form their own groups, because
+  a hop-bounded sweep answers a different indicator than an unbounded one.
 
 A plan is immutable and independent of chunking, so the same plan yields
 identical estimates whatever ``chunk_size`` streams the worlds.
@@ -21,7 +24,7 @@ identical estimates whatever ``chunk_size`` streams the worlds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,23 +35,29 @@ from repro.util.validation import check_node, check_positive
 class BatchQuery(NamedTuple):
     """One s-t reliability query with its sample budget ``K``.
 
-    A plain ``(source, target, samples)`` tuple coerces to this, so callers
-    can submit workloads as bare triples.
+    ``max_hops`` turns the query into the *distance-constrained* d-hop
+    reliability of §2.9: "does ``source`` reach ``target`` within
+    ``max_hops`` edges?"; ``None`` means plain (unbounded) reliability.
+    A plain ``(source, target, samples)`` or ``(source, target, samples,
+    max_hops)`` tuple coerces to this, so callers can submit workloads as
+    bare tuples.
     """
 
     source: int
     target: int
     samples: int
+    max_hops: Optional[int] = None
 
 
 QueryLike = Union[BatchQuery, Tuple[int, int, int], Sequence[int]]
 
 
 class SourceGroup(NamedTuple):
-    """All unique queries sharing one source node.
+    """All unique queries sharing one ``(source, max_hops)`` pair.
 
     ``targets[i]`` belongs to the unique query ``query_indices[i]`` whose
-    budget is ``samples[i]``; one sweep per world answers the whole group.
+    budget is ``samples[i]``; one (hop-bounded) sweep per world answers
+    the whole group.
     """
 
     source: int
@@ -56,6 +65,7 @@ class SourceGroup(NamedTuple):
     query_indices: np.ndarray  # indices into QueryPlan.queries
     samples: np.ndarray  # int64 per-query budgets
     k_max: int  # sweeps are needed only for world indices < k_max
+    max_hops: Optional[int] = None  # shared hop bound (None = unbounded)
 
 
 @dataclass(frozen=True)
@@ -64,7 +74,7 @@ class QueryPlan:
 
     queries: Tuple[BatchQuery, ...]  # unique queries, first-seen order
     assignment: Tuple[int, ...]  # original position -> unique index
-    groups: Tuple[SourceGroup, ...]  # one per distinct source
+    groups: Tuple[SourceGroup, ...]  # one per distinct (source, max_hops)
     k_max: int  # largest budget over the whole plan
 
     def __len__(self) -> int:
@@ -82,11 +92,29 @@ class QueryPlan:
 
 
 def as_query(item: QueryLike) -> BatchQuery:
-    """Coerce a raw workload item into a :class:`BatchQuery`."""
+    """Coerce a raw workload item into a :class:`BatchQuery`.
+
+    Accepts 3-tuples ``(source, target, samples)`` and 4-tuples with a
+    trailing hop bound (``None`` for unbounded).
+    """
     if isinstance(item, BatchQuery):
         return item
-    source, target, samples = item
-    return BatchQuery(int(source), int(target), int(samples))
+    parts = tuple(item)
+    if len(parts) == 3:
+        source, target, samples = parts
+        max_hops: Optional[int] = None
+    elif len(parts) == 4:
+        source, target, samples, max_hops = parts
+    else:
+        raise ValueError(
+            f"a query is (source, target, samples[, max_hops]), got {item!r}"
+        )
+    return BatchQuery(
+        int(source),
+        int(target),
+        int(samples),
+        None if max_hops is None else int(max_hops),
+    )
 
 
 def plan_queries(
@@ -105,6 +133,8 @@ def plan_queries(
         check_node(query.source, graph.node_count, "source")
         check_node(query.target, graph.node_count, "target")
         check_positive(query.samples, "samples")
+        if query.max_hops is not None:
+            check_positive(query.max_hops, "max_hops")
         index = unique.get(query)
         if index is None:
             index = len(ordered)
@@ -112,26 +142,32 @@ def plan_queries(
             ordered.append(query)
         assignment.append(index)
 
-    by_source: Dict[int, List[int]] = {}
+    by_group: Dict[Tuple[int, Optional[int]], List[int]] = {}
     for index, query in enumerate(ordered):
-        by_source.setdefault(query.source, []).append(index)
+        by_group.setdefault((query.source, query.max_hops), []).append(index)
 
     groups = []
-    for source in sorted(by_source):
-        indices = np.asarray(by_source[source], dtype=np.int64)
+    # Deterministic group order: by source, bounded groups (ascending hop
+    # bound) before the unbounded one.  Order never affects estimates —
+    # hit counts are per-query — only the sweep schedule.
+    for source, max_hops in sorted(
+        by_group, key=lambda key: (key[0], key[1] is None, key[1] or 0)
+    ):
+        members = by_group[(source, max_hops)]
+        indices = np.asarray(members, dtype=np.int64)
         samples = np.asarray(
-            [ordered[i].samples for i in by_source[source]], dtype=np.int64
+            [ordered[i].samples for i in members], dtype=np.int64
         )
         groups.append(
             SourceGroup(
                 source=source,
                 targets=np.asarray(
-                    [ordered[i].target for i in by_source[source]],
-                    dtype=np.int64,
+                    [ordered[i].target for i in members], dtype=np.int64
                 ),
                 query_indices=indices,
                 samples=samples,
                 k_max=int(samples.max()),
+                max_hops=max_hops,
             )
         )
 

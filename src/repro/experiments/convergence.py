@@ -113,6 +113,8 @@ def evaluate_at_k(
     repeats: int,
     seed: int = 0,
     use_batch: bool = False,
+    workers: Optional[int] = None,
+    max_hops: Optional[int] = None,
 ) -> SamplePoint:
     """Measure one (estimator, K) grid point over the whole workload.
 
@@ -128,17 +130,33 @@ def evaluate_at_k(
     (fresh batch seed per repeat); pairs within a repeat may share worlds,
     which leaves every per-pair marginal distribution — and hence the
     dispersion protocol's statistics — unchanged.
+
+    ``workers`` (multiprocess chunk evaluation) and ``max_hops`` (§2.9
+    d-hop reliability: every query becomes "reaches within ``max_hops``
+    edges") ride on the batch path and therefore require
+    ``use_batch=True``; ``workers`` cannot change estimates, ``max_hops``
+    changes the measured quantity itself.
     """
+    if max_hops is not None and not use_batch:
+        raise ValueError(
+            "max_hops measures d-hop reliability through the batch "
+            "engine; pass use_batch=True"
+        )
     pair_count = len(workload)
     estimates = np.zeros((pair_count, repeats), dtype=np.float64)
     started = time.perf_counter()
     if use_batch:
         for repeat in range(repeats):
             queries = [
-                (source, target, samples) for source, target in workload
+                (source, target, samples)
+                if max_hops is None
+                else (source, target, samples, max_hops)
+                for source, target in workload
             ]
             estimates[:, repeat] = estimator.estimate_batch(
-                queries, seed=_batch_repeat_seed(seed, repeat, samples)
+                queries,
+                seed=_batch_repeat_seed(seed, repeat, samples),
+                workers=workers,
             )
     else:
         for pair_index, (source, target) in enumerate(workload):
@@ -175,18 +193,22 @@ def run_convergence(
     seed: int = 0,
     stop_at_convergence: bool = False,
     use_batch: bool = False,
+    workers: Optional[int] = None,
+    max_hops: Optional[int] = None,
 ) -> ConvergenceResult:
     """Walk the K grid until the dispersion criterion fires.
 
     With ``stop_at_convergence=False`` (default) the full grid is measured —
     needed by the trade-off figures (9-11), which plot past convergence.
     ``use_batch`` routes each grid point through the workload-at-once path
-    of :func:`evaluate_at_k`.
+    of :func:`evaluate_at_k`; ``workers`` and ``max_hops`` are forwarded
+    to it (both require the batch path).
     """
     result = ConvergenceResult(estimator_key=getattr(estimator, "key", "?"))
     for samples in criterion.grid():
         point = evaluate_at_k(
-            estimator, workload, samples, repeats, seed, use_batch=use_batch
+            estimator, workload, samples, repeats, seed,
+            use_batch=use_batch, workers=workers, max_hops=max_hops,
         )
         result.points.append(point)
         converged = (

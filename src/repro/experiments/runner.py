@@ -55,6 +55,15 @@ class StudyConfig:
     #: to keep the per-(pair, repeat) substream protocol of the paper's
     #: tables bit-for-bit stable.
     use_batch_engine: bool = False
+    #: Worker processes for engine-backed batch evaluation (``None`` = the
+    #: engine default).  A pure wall-clock knob: by the engine's
+    #: determinism contract it cannot change any measured estimate.
+    engine_workers: Optional[int] = None
+    #: Hop bound for §2.9 d-hop reliability studies: every workload query
+    #: measures "reaches within max_hops edges" instead of plain
+    #: reachability.  Requires ``use_batch_engine=True`` and an estimator
+    #: with a d-hop fast path (MC).
+    max_hops: Optional[int] = None
 
     def options_for(self, key: str) -> dict:
         options = dict(self.estimator_options.get(key, {}))
@@ -211,6 +220,8 @@ def run_study(config: StudyConfig) -> StudyResult:
             repeats=config.repeats,
             seed=config.seed,
             use_batch=config.use_batch_engine,
+            workers=config.engine_workers,
+            max_hops=config.max_hops,
         )
 
     reference_key = (

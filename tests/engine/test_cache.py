@@ -1,7 +1,12 @@
 """Tests for the LRU result cache and graph fingerprinting."""
 
 from repro.core.graph import UncertainGraph
-from repro.engine.cache import ResultCache, graph_fingerprint, result_key
+from repro.engine.cache import (
+    UNBOUNDED_HOPS,
+    ResultCache,
+    graph_fingerprint,
+    result_key,
+)
 
 
 class TestGraphFingerprint:
@@ -40,6 +45,28 @@ class TestResultCache:
         cache = ResultCache(capacity=4)
         cache.put(result_key("fp", 0, 1, 100, 7), 0.5)
         assert cache.get(result_key("fp", 0, 1, 100, 8)) is None
+
+    def test_hop_bounds_partition_keys(self):
+        # The d-hop indicator is a different random variable over the same
+        # worlds: (s, t, K, seed) must never alias across max_hops values.
+        unbounded = result_key("fp", 0, 1, 100, 7)
+        hop2 = result_key("fp", 0, 1, 100, 7, max_hops=2)
+        hop3 = result_key("fp", 0, 1, 100, 7, max_hops=3)
+        assert len({unbounded, hop2, hop3}) == 3
+        assert unbounded[-1] == UNBOUNDED_HOPS
+
+    def test_default_hop_encoding_matches_explicit_none(self):
+        assert result_key("fp", 0, 1, 100, 7) == result_key(
+            "fp", 0, 1, 100, 7, max_hops=None
+        )
+
+    def test_cache_never_serves_across_hop_bounds(self):
+        cache = ResultCache(capacity=8)
+        cache.put(result_key("fp", 0, 1, 100, 7), 0.5)
+        cache.put(result_key("fp", 0, 1, 100, 7, max_hops=2), 0.25)
+        assert cache.get(result_key("fp", 0, 1, 100, 7, max_hops=3)) is None
+        assert cache.get(result_key("fp", 0, 1, 100, 7, max_hops=2)) == 0.25
+        assert cache.get(result_key("fp", 0, 1, 100, 7)) == 0.5
 
     def test_lru_eviction_order(self):
         cache = ResultCache(capacity=2)

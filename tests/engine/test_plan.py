@@ -17,7 +17,22 @@ class TestAsQuery:
     def test_numpy_integers_coerce(self):
         query = as_query((np.int64(1), np.int64(2), np.int64(3)))
         assert query == BatchQuery(1, 2, 3)
-        assert all(isinstance(part, int) for part in query)
+        assert all(isinstance(part, int) for part in query[:3])
+        assert query.max_hops is None
+
+    def test_four_tuple_carries_hop_bound(self):
+        query = as_query((1, 2, 3, np.int64(4)))
+        assert query == BatchQuery(1, 2, 3, 4)
+        assert isinstance(query.max_hops, int)
+
+    def test_explicit_none_hop_bound(self):
+        assert as_query((1, 2, 3, None)) == BatchQuery(1, 2, 3, None)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="source, target, samples"):
+            as_query((1, 2, 3, 4, 5))
+        with pytest.raises(ValueError):
+            as_query((1, 2))
 
 
 class TestPlanQueries:

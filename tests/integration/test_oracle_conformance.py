@@ -1,0 +1,186 @@
+"""Exact-oracle conformance suite: every estimator vs ground truth.
+
+The paper's accuracy comparison (Tables 3-8) as an executable test: on
+hypothesis-generated small graphs, every registered estimator's estimate
+must land within a confidence-interval-derived tolerance of the exact
+reliability (:mod:`repro.core.exact`).  The tolerance is the one quantity
+sampling theory promises: the MC hit rate is Binomial with standard
+deviation ``sqrt(R(1-R)/K)`` (paper Eq. 4), every studied estimator is
+unbiased with variance at most MC's (paper §3.2 orders them *below* MC),
+so ``Z`` standard deviations plus a small discretisation slack bounds all
+of them.
+
+``lp`` (the *uncorrected* Lazy Propagation) is deliberately excluded from
+the conformance sweep: the paper's Fig. 5 exists precisely because it is
+biased, and :class:`TestKnownBiasedEstimator` asserts that finding instead
+of hiding it.
+
+The suite is derandomized: same graphs, same seeds, every run — a
+conformance gate, not a statistical coin flip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from repro.core.possible_world import world_probability
+from repro.core.registry import create_estimator, estimator_keys
+from repro.engine.batch import BatchEngine
+from repro.util.rng import stable_substream
+from tests.conftest import small_graph_parts
+
+#: Sample budget per conformance query.
+SAMPLES = 1_200
+
+#: CI width in standard deviations.  Per assertion the miss probability is
+#: ~6e-6 for an exact-variance estimator; the suite is derandomized, so a
+#: persistent miss means a bug, not bad luck.
+Z = 4.5
+
+#: Discretisation slack: estimates move in steps of 1/K, and the recursive
+#: estimators allocate integer sample counts to branches.
+SLACK = 0.02
+
+#: Estimators the paper shows to be *biased* — excluded from conformance
+#: and pinned by their own test below.
+KNOWN_BIASED = {"lp"}
+
+CONFORMANT_ESTIMATORS = sorted(set(estimator_keys()) - KNOWN_BIASED)
+
+CONFORMANCE_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def tolerance(exact: float, samples: int = SAMPLES) -> float:
+    """CI-derived acceptance band around the exact reliability."""
+    return Z * np.sqrt(exact * (1.0 - exact) / samples) + SLACK
+
+
+def build(parts) -> UncertainGraph:
+    node_count, edges = parts
+    return UncertainGraph(node_count, edges)
+
+
+@pytest.mark.parametrize("key", CONFORMANT_ESTIMATORS)
+class TestEstimatorConformance:
+    @CONFORMANCE_SETTINGS
+    @given(parts=small_graph_parts)
+    def test_estimate_within_ci_of_exact(self, key, parts):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        exact = reliability_exact(graph, source, target)
+        estimator = create_estimator(key, graph, seed=0)
+        estimator.prepare()
+        estimate = estimator.estimate(
+            source, target, SAMPLES,
+            rng=stable_substream(0, source, target),
+        )
+        assert abs(estimate - exact) <= tolerance(exact), (
+            f"{key}: |{estimate} - exact {exact}| > {tolerance(exact)}"
+        )
+
+
+class TestEngineConformance:
+    """The batch engine is an estimator too — hold it to the same oracle."""
+
+    @CONFORMANCE_SETTINGS
+    @given(parts=small_graph_parts)
+    def test_batch_engine_within_ci_of_exact(self, parts):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        exact = reliability_exact(graph, source, target)
+        result = BatchEngine(graph, seed=0).run([(source, target, SAMPLES)])
+        assert abs(result.estimates[0] - exact) <= tolerance(exact)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(parts=small_graph_parts, max_hops=st.integers(1, 4))
+    def test_dhop_estimates_match_enumerated_oracle(self, parts, max_hops):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        exact = _exact_dhop_reliability(graph, source, target, max_hops)
+        result = BatchEngine(graph, seed=0).run(
+            [(source, target, SAMPLES, max_hops)]
+        )
+        assert abs(result.estimates[0] - exact) <= tolerance(exact)
+
+
+def _exact_dhop_reliability(
+    graph: UncertainGraph, source: int, target: int, max_hops: int
+) -> float:
+    """Exact d-hop reliability by world enumeration (small graphs only)."""
+    if source == target:
+        return 1.0
+    m = graph.edge_count
+    total = 0.0
+    for world_bits in range(1 << m):
+        mask = np.array(
+            [(world_bits >> edge) & 1 for edge in range(m)], dtype=bool
+        )
+        if _within_hops(graph, mask, source, target, max_hops):
+            total += world_probability(graph, mask)
+    return total
+
+
+def _within_hops(graph, mask, source, target, max_hops) -> bool:
+    """Hop-bounded BFS indicator in one materialised world."""
+    frontier = {source}
+    visited = {source}
+    for _ in range(max_hops):
+        if target in visited:
+            return True
+        next_frontier = set()
+        for node in frontier:
+            start, stop = graph.indptr[node], graph.indptr[node + 1]
+            for offset in range(start, stop):
+                if mask[offset] and graph.targets[offset] not in visited:
+                    next_frontier.add(int(graph.targets[offset]))
+        visited |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return target in visited
+
+
+class TestKnownBiasedEstimator:
+    """Fig. 5's finding as a regression pin: uncorrected LP is biased.
+
+    Not hypothesis-driven — the early-fire bias needs a topology that
+    triggers it (a hub whose medium-probability edges are re-expanded
+    every sample; same structure as ``tests/core/estimators/
+    test_lazy_propagation.py``).  If this starts failing, ``lp`` got
+    fixed and belongs in ``CONFORMANT_ESTIMATORS`` instead.
+    """
+
+    @staticmethod
+    def _hub_graph() -> UncertainGraph:
+        edges = [(0, v, 0.4) for v in range(1, 8)]
+        edges += [(v, 8, 0.4) for v in range(1, 8)]
+        return UncertainGraph(9, edges)
+
+    def test_uncorrected_lp_deviates_where_lp_plus_conforms(self):
+        graph = self._hub_graph()
+        exact = reliability_exact(graph, 0, 8)
+        estimates = {}
+        for key in ("lp", "lp_plus"):
+            estimator = create_estimator(key, graph, seed=0)
+            runs = [
+                estimator.estimate(
+                    0, 8, SAMPLES, rng=stable_substream(run, 0, 8)
+                )
+                for run in range(8)
+            ]
+            estimates[key] = float(np.mean(runs))
+        assert abs(estimates["lp_plus"] - exact) <= tolerance(exact)
+        assert estimates["lp"] > exact + 0.03  # the Fig. 5 overestimate

@@ -212,6 +212,53 @@ class TestBatch:
                  "--scale", "tiny"]
             )
 
+    def test_workers_runs_and_agrees_with_serial(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200\n3 9 150\n")
+        args = ["batch", "--queries", path, "--dataset", "lastfm",
+                "--scale", "tiny", "--seed", "3", "--chunk-size", "64"]
+        main(args + ["--workers", "1"])
+        serial = json.loads(capsys.readouterr().out)
+        main(args + ["--workers", "2"])
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["engine"]["workers"] == 1
+        assert parallel["engine"]["workers"] == 2
+        assert [r["estimate"] for r in serial["results"]] == [
+            r["estimate"] for r in parallel["results"]
+        ]
+
+    def test_max_hops_bounds_all_queries(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200\n3 9 150\n")
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--max-hops", "3"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [r["max_hops"] for r in report["results"]] == [3, 3]
+
+    def test_per_query_hop_bound_beats_global_default(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200 1\n3 9 150\n")
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--max-hops", "4"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [r["max_hops"] for r in report["results"]] == [1, 4]
+
+    def test_json_object_carries_max_hops(self, capsys, tmp_path):
+        path = self._write_queries(
+            tmp_path,
+            '[{"source": 0, "target": 5, "samples": 100, "max_hops": 2}]',
+        )
+        code = main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["max_hops"] == 2
+
 
 class TestStudyBatch:
     def test_batched_study_runs(self, capsys):
@@ -224,6 +271,27 @@ class TestStudyBatch:
         )
         assert code == 0
         assert "Accuracy" in capsys.readouterr().out
+
+    def test_workers_ride_the_batch_path(self, capsys):
+        code = main(
+            [
+                "study", "--dataset", "lastfm", "--scale", "tiny",
+                "--pairs", "2", "--repeats", "2", "--kmax", "250",
+                "--estimators", "mc", "--batch", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "Accuracy" in capsys.readouterr().out
+
+    def test_workers_without_batch_rejected(self):
+        with pytest.raises(SystemExit, match="--batch"):
+            main(
+                [
+                    "study", "--dataset", "lastfm", "--scale", "tiny",
+                    "--pairs", "2", "--repeats", "2", "--kmax", "250",
+                    "--estimators", "mc", "--workers", "2",
+                ]
+            )
 
 
 class TestBatchValidation:
@@ -239,7 +307,7 @@ class TestBatchValidation:
                   "--scale", "tiny"])
 
     def test_long_json_entry_rejected(self, tmp_path):
-        path = self._write(tmp_path, "[[0, 5, 100, 999]]")
+        path = self._write(tmp_path, "[[0, 5, 100, 2, 999]]")
         with pytest.raises(ValueError, match="entry 0"):
             main(["batch", "--queries", path, "--dataset", "lastfm",
                   "--scale", "tiny"])
@@ -263,6 +331,78 @@ class TestBatchValidation:
                   "--scale", "tiny", "--method", "rhh", "--chunk-size", "8"])
 
 
+class TestBatchFailurePaths:
+    """Malformed workload files fail *early*, with entry-level context."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def _run(self, path, *extra):
+        return main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", *extra]
+        )
+
+    def test_out_of_range_source_names_the_query(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100\n999 5 100\n")
+        with pytest.raises(SystemExit, match="query 1.*source 999 out of range"):
+            self._run(path)
+
+    def test_out_of_range_target_names_the_query(self, tmp_path):
+        path = self._write(tmp_path, "0 12345 100\n")
+        with pytest.raises(SystemExit, match="query 0.*target 12345 out of range"):
+            self._run(path)
+
+    def test_negative_samples_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0 5 -100\n")
+        with pytest.raises(SystemExit, match="samples must be a positive integer"):
+            self._run(path)
+
+    def test_zero_samples_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0 5 0\n")
+        with pytest.raises(SystemExit, match="samples must be a positive integer"):
+            self._run(path)
+
+    def test_nonpositive_hop_bound_in_file_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100 0\n")
+        with pytest.raises(SystemExit, match="max_hops must be a positive integer"):
+            self._run(path)
+
+    def test_nonpositive_max_hops_flag_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100\n")
+        with pytest.raises(SystemExit, match="--max-hops must be a positive"):
+            self._run(path, "--max-hops", "0")
+
+    def test_nonpositive_workers_flag_rejected(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100\n")
+        with pytest.raises(SystemExit, match="--workers must be a positive"):
+            self._run(path, "--workers", "0")
+
+    def test_validation_precedes_sampling_for_fallback_methods(self, tmp_path):
+        # The per-query loop would only hit the bad entry after answering
+        # the good ones; early validation fails before any sampling.
+        path = self._write(tmp_path, "0 5 100\n0 99999 100\n")
+        with pytest.raises(SystemExit, match="query 1"):
+            self._run(path, "--method", "rhh")
+
+    def test_workers_requires_mc(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100\n")
+        with pytest.raises(SystemExit, match="--workers applies only to --method mc"):
+            self._run(path, "--method", "rhh", "--workers", "2")
+
+    def test_hop_bounded_queries_require_mc(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100 2\n")
+        with pytest.raises(SystemExit, match="shared-world engine"):
+            self._run(path, "--method", "rhh")
+
+    def test_sequential_oracle_refuses_workers(self, tmp_path):
+        path = self._write(tmp_path, "0 5 100\n")
+        with pytest.raises(SystemExit, match="--sequential"):
+            self._run(path, "--sequential", "--workers", "2")
+
+
 class TestBatchJsonForms:
     def _write(self, tmp_path, text):
         path = tmp_path / "queries.json"
@@ -281,5 +421,21 @@ class TestBatchJsonForms:
     def test_scalar_entry_rejected_with_context(self, tmp_path):
         path = self._write(tmp_path, "[5, 7]")
         with pytest.raises(ValueError, match="entry 0"):
+            main(["batch", "--queries", path, "--dataset", "lastfm",
+                  "--scale", "tiny"])
+
+    def test_null_hop_bound_in_list_entry_means_unbounded(
+        self, capsys, tmp_path
+    ):
+        path = self._write(tmp_path, "[[0, 5, 100, null]]")
+        code = main(["batch", "--queries", path, "--dataset", "lastfm",
+                     "--scale", "tiny"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["max_hops"] is None
+
+    def test_null_in_required_position_rejected_with_context(self, tmp_path):
+        path = self._write(tmp_path, "[[null, 5, 100]]")
+        with pytest.raises(ValueError, match="entry 0.*non-numeric"):
             main(["batch", "--queries", path, "--dataset", "lastfm",
                   "--scale", "tiny"])
