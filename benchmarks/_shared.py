@@ -25,7 +25,6 @@ pure Python while preserving every comparative shape (see EXPERIMENTS.md).
 from __future__ import annotations
 
 import os
-import sys
 from pathlib import Path
 from typing import Dict, List
 

@@ -13,7 +13,6 @@ C++ substrate never had to make, so EXPERIMENTS.md can justify them:
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.bounds import reliability_bounds
 from repro.core.estimators.lazy_propagation import LazyPropagationEstimator
@@ -93,7 +92,9 @@ def test_ablation_probtree_couplings(benchmark):
     for inner_key in PAPER_ESTIMATORS:
         if inner_key == "prob_tree":
             continue  # no self-nesting
-        factory = lambda g, k=inner_key: create_estimator(k, g, seed=BENCH_SEED)
+        def factory(g, k=inner_key):
+            return create_estimator(k, g, seed=BENCH_SEED)
+
         coupled = create_estimator(
             "prob_tree", dataset.graph, estimator_factory=factory, seed=BENCH_SEED
         )

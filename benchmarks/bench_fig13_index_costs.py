@@ -8,8 +8,6 @@ K-independent and smaller.
 
 import time
 
-import pytest
-
 from repro.core.estimators.bfs_sharing import BFSSharingIndex
 from repro.core.estimators.prob_tree import FWDProbTreeIndex
 from repro.experiments.memory import format_bytes

@@ -7,7 +7,6 @@ reliability falls sharply with h; K at convergence is stable for close
 pairs; relative error stays insensitive to h.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.registry import display_name

@@ -7,10 +7,10 @@ is auditable.  The timed kernel is dataset generation itself.
 
 import numpy as np
 
-from repro.datasets.suite import DATASETS, dataset_table, load_dataset
+from repro.datasets.suite import DATASETS, dataset_table
 from repro.experiments.report import format_table
 
-from benchmarks._shared import BENCH_DATASETS, BENCH_SCALE, BENCH_SEED, emit
+from benchmarks._shared import BENCH_SCALE, BENCH_SEED, emit
 
 
 def test_table02_dataset_properties(benchmark):

@@ -58,7 +58,9 @@ def test_table16_probtree_coupling(benchmark):
                 plain, study.workload, samples, BENCH_SEED
             )
 
-            factory = lambda g, k=inner_key: create_estimator(k, g, seed=BENCH_SEED)
+            def factory(g, k=inner_key):
+                return create_estimator(k, g, seed=BENCH_SEED)
+
             coupled = create_estimator(
                 "prob_tree", graph, estimator_factory=factory, seed=BENCH_SEED
             )

@@ -7,7 +7,6 @@ with the paper's star ordering (recursive best variance, MC best memory).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.recommend import (
     INDEX_STAR_RATINGS,

@@ -8,7 +8,6 @@ common winner), and comparing at a fixed K is unfair to slower-converging
 methods.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.report import format_dict_rows

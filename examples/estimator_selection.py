@@ -8,8 +8,6 @@ and rejected estimators.
 Run:  python examples/estimator_selection.py
 """
 
-import numpy as np
-
 from repro import recommend_estimator
 from repro.core.recommend import STAR_RATINGS, overall_recommendation
 from repro.core.registry import create_estimator, display_name
@@ -39,7 +37,10 @@ def main() -> None:
     print(f"\noverall paper recommendation: {display_name(overall_recommendation())}")
 
     print("\nPaper star ratings (Table 17, online query processing):")
-    print(f"  {'method':12s} {'variance':10s} {'accuracy':10s} {'time':10s} {'memory':10s}")
+    print(
+        f"  {'method':12s} {'variance':10s} {'accuracy':10s} "
+        f"{'time':10s} {'memory':10s}"
+    )
     for key, rating in STAR_RATINGS.items():
         print(
             f"  {display_name(key):12s} {stars(rating['variance']):10s} "

@@ -85,7 +85,8 @@ def main() -> None:
     # A batch of commuter queries amortises the index.
     rng = np.random.default_rng(4)
     pairs = [
-        (int(rng.integers(columns)), int(rng.integers((rows - 1) * columns, rows * columns)))
+        (int(rng.integers(columns)),
+         int(rng.integers((rows - 1) * columns, rows * columns)))
         for _ in range(5)
     ]
     print("\nbatch of commuter queries (ProbTree):")

@@ -1,41 +1,10 @@
-"""Packaging for the s-t reliability reproduction.
+"""Legacy-compat shim: all metadata lives in ``pyproject.toml``.
 
-``pip install -e .`` exposes the ``repro`` package (src layout) and a
-``repro`` console script (the CLI of :mod:`repro.cli`).  Kept as a plain
-``setup.py`` so legacy editable installs work where ``wheel`` is absent.
+Kept so environments that invoke ``setup.py`` directly (old editable
+installs, some packaging tools) still work; ``pip install -e .`` reads
+``pyproject.toml`` through the setuptools backend either way.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro-st-reliability",
-    version="0.2.0",
-    description=(
-        "Reproduction of 'An In-Depth Comparison of s-t Reliability "
-        "Algorithms over Uncertain Graphs' (VLDB 2019)"
-    ),
-    long_description=(
-        "Six s-t reliability estimators over uncertain graphs, the paper's "
-        "convergence/accuracy/runtime experiment protocol, and a batched "
-        "multi-query engine that shares sampled possible worlds across a "
-        "workload."
-    ),
-    author="paper-repo-growth",
-    license="MIT",
-    python_requires=">=3.9",
-    install_requires=["numpy>=1.22"],
-    extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
-    },
-    package_dir={"": "src"},
-    packages=find_packages("src"),
-    entry_points={
-        "console_scripts": [
-            "repro = repro.cli:main",
-        ],
-    },
-    classifiers=[
-        "Programming Language :: Python :: 3",
-        "Topic :: Scientific/Engineering",
-    ],
-)
+setup()

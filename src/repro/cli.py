@@ -23,7 +23,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.bounds import reliability_bounds
 from repro.core.recommend import recommend_estimator
-from repro.core.registry import PAPER_ESTIMATORS, create_estimator, display_name
+from repro.core.registry import (
+    PAPER_ESTIMATORS,
+    create_estimator,
+    display_name,
+    estimator_class,
+)
 from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table, load_dataset
 from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
 from repro.experiments.convergence import ConvergenceCriterion
@@ -77,13 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--method", choices=PAPER_ESTIMATORS, default="mc",
-        help="estimator; 'mc' uses the shared-world fast path, the others "
-             "fall back to a per-query loop (default: mc)",
+        help="estimator; 'mc' and 'bfs_sharing' use the shared-world "
+             "engine fast path, 'prob_tree' groups the batch by (s, t) "
+             "bag pair, the others fall back to a per-query loop "
+             "(default: mc)",
     )
     batch.add_argument(
         "--chunk-size", type=int, default=None,
         help=f"worlds materialised per streaming step "
              f"(default: {DEFAULT_CHUNK_SIZE})",
+    )
+    batch.add_argument(
+        "--cache-dir", default=None,
+        help="directory holding the persistent result cache; a re-run of "
+             "the same workload (same graph, seed, K) is served from the "
+             "sidecar with zero world evaluations, even across processes",
     )
     batch.add_argument(
         "--workers", type=int, default=None,
@@ -160,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for engine-backed batch evaluation "
              "(requires --batch; cannot change any estimate)",
+    )
+    study.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory for engine-backed batch "
+             "evaluation (requires --batch); re-running the same study "
+             "warm-starts from the sidecar",
     )
     return parser
 
@@ -278,6 +297,37 @@ def _validate_batch_queries(
             )
 
 
+def _engine_report(mode: str, result) -> dict:
+    """The JSON ``engine`` section for a :class:`BatchResult`."""
+    return {
+        "mode": mode,
+        "workers": result.workers,
+        "worlds_sampled": result.worlds_sampled,
+        "sweeps": result.sweeps,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "seconds": round(result.seconds, 6),
+    }
+
+
+def _result_rows(
+    queries: List[BatchQueryTuple], estimates
+) -> List[dict]:
+    """Per-query JSON rows for estimator-path batch reports."""
+    return [
+        {
+            "source": source,
+            "target": target,
+            "samples": samples,
+            "max_hops": max_hops,
+            "estimate": float(estimate),
+        }
+        for (source, target, samples, max_hops), estimate in zip(
+            queries, estimates
+        )
+    ]
+
+
 def _command_estimate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, args.scale, args.seed)
     estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
@@ -312,6 +362,47 @@ def _command_batch(args: argparse.Namespace) -> int:
             for source, target, samples, max_hops in queries
         ]
     _validate_batch_queries(queries, dataset.graph.node_count, args.queries)
+    # Fast-path dispatch: the estimator class advertises how its
+    # estimate_batch is served (see Estimator.batch_path).
+    batch_path = estimator_class(args.method).batch_path
+    engine_backed = batch_path == "engine"  # mc, bfs_sharing
+    has_fast_path = batch_path != "fallback"  # + prob_tree
+    if args.sequential and args.method != "mc":
+        raise SystemExit(
+            "repro batch: --sequential applies only to --method mc (the "
+            "per-query engine oracle)"
+        )
+    if args.chunk_size is not None and not engine_backed:
+        raise SystemExit(
+            "repro batch: --chunk-size applies only to the engine-backed "
+            "methods (--method mc or bfs_sharing); other methods do not "
+            "stream world chunks"
+        )
+    if args.workers is not None and not has_fast_path:
+        raise SystemExit(
+            "repro batch: --workers rides on a batch fast path "
+            "(--method mc, bfs_sharing, or prob_tree); "
+            f"--method {args.method} uses the per-query loop"
+        )
+    if args.cache_dir is not None and not has_fast_path:
+        raise SystemExit(
+            "repro batch: --cache-dir rides on a batch fast path "
+            "(--method mc, bfs_sharing, or prob_tree); the per-query "
+            "loop has no exact cache key"
+        )
+    if args.cache_dir is not None and args.sequential:
+        raise SystemExit(
+            "repro batch: the --sequential oracle bypasses the result "
+            "cache by design; --cache-dir applies only to the "
+            "shared-world sweep"
+        )
+    if not engine_backed and any(
+        max_hops is not None for *_, max_hops in queries
+    ):
+        raise SystemExit(
+            "repro batch: hop-bounded (max_hops) queries need the "
+            "shared-world engine; use --method mc or bfs_sharing"
+        )
     report = {
         "dataset": dataset.key,
         "scale": args.scale,
@@ -331,57 +422,52 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
         engine = BatchEngine(
             dataset.graph, seed=args.seed, chunk_size=chunk_size,
-            workers=args.workers,
+            workers=args.workers, cache_dir=args.cache_dir,
         )
         result = (
             engine.run_sequential(queries)
             if args.sequential
             else engine.run(queries)
         )
-        report["engine"] = {
-            "mode": "sequential" if args.sequential else "shared_worlds",
-            "chunk_size": chunk_size,
-            "workers": result.workers,
-            "worlds_sampled": result.worlds_sampled,
-            "sweeps": result.sweeps,
-            "cache_hits": result.cache_hits,
-            "cache_misses": result.cache_misses,
-            "seconds": round(result.seconds, 6),
-        }
+        report["engine"] = _engine_report(
+            "sequential" if args.sequential else "shared_worlds", result
+        )
+        report["engine"]["chunk_size"] = chunk_size
+        if args.cache_dir is not None:
+            report["engine"]["cache"] = engine.cache.statistics()
+            engine.cache.close()
         report["results"] = list(result.as_rows())
+    elif has_fast_path:
+        estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
+        if not engine_backed:
+            # Engine-backed batches never consult the private offline
+            # index (bfs_sharing's O(Km) worlds stay unbuilt); prob_tree
+            # still needs its FWD decomposition.
+            estimator.prepare()
+        options = {"workers": args.workers, "cache_dir": args.cache_dir}
+        if engine_backed:
+            options["chunk_size"] = args.chunk_size
+        estimates = estimator.estimate_batch(
+            queries, seed=args.seed, **options
+        )
+        mode = "shared_worlds" if engine_backed else "bag_grouped"
+        result = estimator.last_batch_result
+        report["engine"] = (
+            {"mode": mode}
+            if result is None
+            else _engine_report(mode, result)
+        )
+        engine = estimator._batch_engine
+        if args.cache_dir is not None and engine is not None:
+            report["engine"]["cache"] = engine.cache.statistics()
+            engine.cache.close()
+        report["results"] = _result_rows(queries, estimates)
     else:
-        if args.sequential or args.chunk_size is not None:
-            raise SystemExit(
-                "repro batch: --sequential and --chunk-size apply only to "
-                "--method mc (the engine fast path); other methods use the "
-                "per-query loop"
-            )
-        if args.workers is not None:
-            raise SystemExit(
-                "repro batch: --workers applies only to --method mc (the "
-                "engine fast path); other methods use the per-query loop"
-            )
-        if any(max_hops is not None for *_, max_hops in queries):
-            raise SystemExit(
-                "repro batch: hop-bounded (max_hops) queries need the "
-                "shared-world engine; use --method mc"
-            )
         estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
         estimator.prepare()
         estimates = estimator.estimate_batch(queries, seed=args.seed)
         report["engine"] = {"mode": "per_query_loop"}
-        report["results"] = [
-            {
-                "source": source,
-                "target": target,
-                "samples": samples,
-                "max_hops": max_hops,
-                "estimate": float(estimate),
-            }
-            for (source, target, samples, max_hops), estimate in zip(
-                queries, estimates
-            )
-        ]
+        report["results"] = _result_rows(queries, estimates)
     payload = json.dumps(report, indent=2)
     if args.output == "-":
         print(payload)
@@ -454,6 +540,10 @@ def _command_study(args: argparse.Namespace) -> int:
         raise SystemExit(
             "repro study: --workers rides on the batch engine; add --batch"
         )
+    if args.cache_dir is not None and not args.batch:
+        raise SystemExit(
+            "repro study: --cache-dir rides on the batch engine; add --batch"
+        )
     config = StudyConfig(
         dataset=args.dataset,
         scale=args.scale,
@@ -464,6 +554,7 @@ def _command_study(args: argparse.Namespace) -> int:
         seed=args.seed,
         use_batch_engine=args.batch,
         engine_workers=args.workers,
+        engine_cache_dir=args.cache_dir,
     )
     result = run_study(config)
     print(

@@ -10,8 +10,8 @@ harness reports separately (paper §3.7).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import ClassVar, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,103 @@ from repro.util.validation import check_node, check_positive
 #: substream users of the same root seed (e.g. the experiment runner's
 #: ``(seed, pair, repeat, K)`` cells, or the engine's world stream).
 _BATCH_STREAM = 0x42
+
+#: A coerced workload entry: ``(source, target, samples, max_hops)``.
+WorkloadEntry = Tuple[int, int, int, Optional[int]]
+
+
+def coerce_batch_queries(
+    queries: Iterable[Sequence[int]],
+    *,
+    estimator_name: str,
+    allow_hops: bool,
+    hops_reason: Optional[str] = None,
+) -> List[WorkloadEntry]:
+    """Normalise a raw workload into ``(source, target, K, max_hops)``.
+
+    Shared by every ``estimate_batch`` implementation so they agree on
+    what a query *is*.  Coerced here rather than via
+    ``repro.engine.plan.as_query``: core must not import upward into
+    engine (see ``docs/architecture.md``).  Estimators without a
+    hop-bounded sweep reject ``max_hops`` outright (``allow_hops=False``)
+    instead of silently answering the unbounded query; ``hops_reason``
+    lets them explain *why* in the error.
+    """
+    workload: List[WorkloadEntry] = []
+    for query in queries:
+        parts = tuple(query)
+        if len(parts) == 3:
+            max_hops: Optional[int] = None
+        elif len(parts) == 4:
+            max_hops = parts[3]
+        else:
+            raise ValueError(
+                f"a query is (source, target, samples[, max_hops]), "
+                f"got {query!r}"
+            )
+        if max_hops is not None and not allow_hops:
+            raise NotImplementedError(
+                f"{estimator_name} has no d-hop batch fast path; "
+                + (
+                    hops_reason
+                    or "hop-bounded (max_hops) workloads are served by the "
+                    "shared-world engine — use the 'mc' or 'bfs_sharing' "
+                    "estimator, or repro.engine.BatchEngine directly"
+                )
+            )
+        workload.append(
+            (
+                int(parts[0]),
+                int(parts[1]),
+                int(parts[2]),
+                None if max_hops is None else int(max_hops),
+            )
+        )
+    return workload
+
+
+def run_engine_batch(
+    estimator: "Estimator",
+    queries: Iterable[Sequence[int]],
+    *,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> np.ndarray:
+    """Serve a workload through the shared-world batch engine.
+
+    The common body behind the ``estimate_batch`` fast paths of MC and
+    BFS Sharing: build a :class:`~repro.engine.batch.BatchEngine` over the
+    estimator's graph, run the workload, stash the engine and its
+    :class:`~repro.engine.batch.BatchResult` on the estimator (for
+    ``memory_bytes`` and for callers that want the instrumentation —
+    ``estimator.last_batch_result``), and return the estimates.
+
+    With ``seed=None`` the world-stream root is drawn from the
+    estimator's own generator, matching the base fallback's behaviour
+    (reproducible iff the estimator was seeded).  ``cache_dir`` opens the
+    persistent result-cache sidecar, so repeated workloads — even across
+    processes — are answered without sampling a single world.
+    """
+    # Imported lazily: core must not import upward into engine at module
+    # scope (docs/architecture.md), but a fast path may reach up at call
+    # time the way MC has since the engine landed.
+    from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
+
+    if seed is None:
+        seed = int(estimator._rng.integers(2**63))
+    engine = BatchEngine(
+        estimator.graph,
+        seed=seed,
+        chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    result = engine.run(queries)
+    estimator._batch_engine = engine  # memory_bytes() reflects the run
+    estimator.last_batch_result = result
+    return result.estimates
 
 
 @dataclass
@@ -61,11 +158,23 @@ class Estimator(abc.ABC):
     display_name: ClassVar[str] = ""
     #: Whether the method has an offline index phase (paper Fig. 13).
     uses_index: ClassVar[bool] = False
+    #: How ``estimate_batch`` is served — the fast-path dispatch tag the
+    #: CLI and docs key off:  ``"fallback"`` (per-query loop),
+    #: ``"engine"`` (shared-world batch engine: one world stream for the
+    #: whole workload, d-hop capable, ``workers``/``cache_dir`` honoured),
+    #: or ``"bag_grouped"`` (ProbTree: one lifted query graph per (s, t)
+    #: bag pair, inner batches per group).
+    batch_path: ClassVar[str] = "fallback"
 
     def __init__(self, graph: UncertainGraph, *, seed: SeedLike = None) -> None:
         self.graph = graph
         self._rng = ensure_generator(seed)
         self.last_query_statistics = QueryStatistics()
+        #: The :class:`~repro.engine.batch.BatchResult` of the last
+        #: engine-served batch (``None`` when the last call took another
+        #: path) — instrumentation for callers, e.g. ``repro batch``.
+        self.last_batch_result = None
+        self._batch_engine = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -90,6 +199,7 @@ class Estimator(abc.ABC):
         samples = check_positive(samples, "samples")
         generator = self._rng if rng is None else ensure_generator(rng)
         self.last_query_statistics = QueryStatistics(samples_requested=samples)
+        self.last_batch_result = None  # this query is per-query, not batched
         if source == target:
             return 1.0
         estimate = self._estimate(source, target, samples, generator)
@@ -105,6 +215,7 @@ class Estimator(abc.ABC):
         *,
         seed: Optional[int] = None,
         workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> np.ndarray:
         """Estimate a workload of ``(source, target, samples[, max_hops])``.
 
@@ -112,43 +223,28 @@ class Estimator(abc.ABC):
         per triple, each on a substream keyed by ``(seed, source, target,
         samples)`` so duplicate queries agree and results are independent
         of workload order.  Subclasses with a shared-work fast path
-        override this; :class:`~repro.core.estimators.monte_carlo.
-        MonteCarloEstimator` routes it through the batch engine
-        (:mod:`repro.engine`), which samples each possible world once for
-        the whole workload (paper §2.2/§3.7).
+        override this (see :attr:`batch_path`): MC and BFS Sharing route
+        through the batch engine (:mod:`repro.engine`), which samples
+        each possible world once for the whole workload (paper
+        §2.2/§3.7); ProbTree groups the batch by (s, t) bag pair and
+        lifts each group's query graph once.
 
-        ``workers`` is a parallelism knob for engine-backed fast paths;
-        the per-query fallback has nothing to fan out and ignores it.
-        Hop-bounded queries (§2.9 d-hop reliability) need a shared-world
-        sweep, which a generic estimator does not have — the fallback
-        rejects them rather than silently answering the unbounded query.
+        ``workers`` (engine parallelism) and ``cache_dir`` (persistent
+        result cache) are knobs for those fast paths; the per-query
+        fallback has nothing to fan out and no exact cache key — every
+        call draws fresh samples — so it ignores both.  Hop-bounded
+        queries (§2.9 d-hop reliability) need a shared-world sweep, which
+        a generic estimator does not have — the fallback rejects them
+        rather than silently answering the unbounded query.
 
         Returns estimates aligned with the input order.
         """
-        # Coerced here rather than via repro.engine.plan.as_query: core
-        # must not import upward into engine (see docs/architecture.md).
-        workload = []
-        for query in queries:
-            parts = tuple(query)
-            if len(parts) == 3:
-                max_hops = None
-            elif len(parts) == 4:
-                max_hops = parts[3]
-            else:
-                raise ValueError(
-                    f"a query is (source, target, samples[, max_hops]), "
-                    f"got {query!r}"
-                )
-            if max_hops is not None:
-                raise NotImplementedError(
-                    f"{type(self).__name__} has no d-hop batch fast path; "
-                    "hop-bounded (max_hops) workloads are served by the "
-                    "shared-world engine — use the 'mc' estimator or "
-                    "repro.engine.BatchEngine directly"
-                )
-            workload.append(tuple(int(part) for part in parts[:3]))
+        workload = coerce_batch_queries(
+            queries, estimator_name=type(self).__name__, allow_hops=False
+        )
+        self.last_batch_result = None
         results = np.empty(len(workload), dtype=np.float64)
-        for index, (source, target, samples) in enumerate(workload):
+        for index, (source, target, samples, _) in enumerate(workload):
             rng = (
                 None
                 if seed is None
@@ -188,4 +284,10 @@ class Estimator(abc.ABC):
         return f"{type(self).__name__}(graph={self.graph!r})"
 
 
-__all__ = ["Estimator", "QueryStatistics"]
+__all__ = [
+    "Estimator",
+    "QueryStatistics",
+    "WorkloadEntry",
+    "coerce_batch_queries",
+    "run_engine_batch",
+]

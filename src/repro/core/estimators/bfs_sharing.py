@@ -30,11 +30,11 @@ from __future__ import annotations
 
 from collections import deque
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.estimators.base import Estimator
+from repro.core.estimators.base import Estimator, run_engine_batch
 from repro.core.graph import UncertainGraph
 from repro.util import bitset
 from repro.util.rng import SeedLike, ensure_generator
@@ -198,6 +198,7 @@ class BFSSharingEstimator(Estimator):
     key = "bfs_sharing"
     display_name = "BFSSharing"
     uses_index = True
+    batch_path = "engine"
 
     def __init__(
         self,
@@ -290,10 +291,64 @@ class BFSSharingEstimator(Estimator):
         samples: int,
         rng: np.random.Generator,
     ) -> float:
+        self._batch_engine = None  # last query was per-query, not batched
         node_bits = self.reachability_bits(source, samples, rng)
         return bitset.popcount(node_bits[target]) / samples
 
+    def estimate_batch(
+        self,
+        queries: Iterable[Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> np.ndarray:
+        """Shared-world fast path: the packed index built from engine chunks.
+
+        A BFS-Sharing index *is* a transposed batch-engine world chunk:
+        bit ``k`` of edge row ``e`` says "``e`` exists in world ``k``" in
+        both.  So instead of pre-sampling a private monolithic index
+        (``O(Km)`` resident memory) and walking it once per query, the
+        batch path streams the engine's deterministic world chunks, packs
+        each chunk into this module's edge bit-matrix layout
+        (``bitset.pack_bool_matrix``), and runs this module's
+        :func:`shared_reachability_fixpoint` **once per distinct source
+        per chunk** — one pack resolving every (target, world) pair of
+        that source's queries at once, with per-query budgets applied as
+        prefix masks.  That is Algorithms 2-3 at workload granularity:
+        one online traversal now answers all of a source's queries, not
+        just all of one query's worlds, and resident memory stays
+        ``O(chunk_size * m)`` bits however large K grows.
+
+        Because the worlds come from the engine's index-keyed stream, the
+        estimates are **bit-identical** to ``mc``'s engine path and to the
+        engine's sequential oracle at equal seed — and exactly cacheable,
+        so ``cache_dir`` warm-starts repeat workloads across processes.
+        Unlike the per-query path, hop-bounded queries (§2.9) are served
+        too (the fixpoint's level-synchronous mode), and ``workers`` fans
+        chunks out over processes without changing a bit.
+
+        The private offline index (:class:`BFSSharingIndex`) is neither
+        consulted nor built, and ``refresh_per_query`` is deliberately
+        **not consulted** here: like ``mc``'s batch path, the batch is
+        *defined* over one shared world stream (each estimate's marginal
+        distribution is unchanged; only cross-query correlation differs),
+        so Table 15's per-query refresh has nothing to refresh.  Callers
+        that need refreshed-index independence per query should use the
+        per-query :meth:`~Estimator.estimate` loop, which honours the
+        flag.
+        """
+        return run_engine_batch(
+            self, queries, seed=seed, chunk_size=chunk_size,
+            workers=workers, cache_dir=cache_dir,
+        )
+
     def memory_bytes(self) -> int:
+        if self._batch_engine is not None:
+            # The last query ran through the engine: its chunk working
+            # set — not the (unbuilt) monolithic index — was resident.
+            return self._batch_engine.memory_bytes()
         total = super().memory_bytes()
         if self._index is not None:
             total += self._index.size_bytes()

@@ -12,7 +12,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.estimators.base import Estimator
+from repro.core.estimators.base import Estimator, run_engine_batch
 from repro.core.graph import UncertainGraph
 from repro.core.possible_world import ReachabilitySampler
 from repro.util.rng import SeedLike
@@ -24,11 +24,11 @@ class MonteCarloEstimator(Estimator):
     key = "mc"
     display_name = "MC"
     uses_index = False
+    batch_path = "engine"
 
     def __init__(self, graph: UncertainGraph, *, seed: SeedLike = None) -> None:
         super().__init__(graph, seed=seed)
         self._sampler = ReachabilitySampler(graph)
-        self._batch_engine = None
 
     def _estimate(
         self,
@@ -47,6 +47,7 @@ class MonteCarloEstimator(Estimator):
         seed: Optional[int] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> np.ndarray:
         """Shared-world fast path via the batch engine (paper §2.2/§3.7).
 
@@ -60,22 +61,15 @@ class MonteCarloEstimator(Estimator):
         constructor seed (reproducible iff the estimator was seeded).
 
         Unlike the base fallback, this path also serves hop-bounded
-        ``(source, target, samples, max_hops)`` queries (§2.9) and accepts
-        ``workers`` for multiprocess chunk evaluation — both without
-        changing any estimate (the engine's determinism contract).
+        ``(source, target, samples, max_hops)`` queries (§2.9), accepts
+        ``workers`` for multiprocess chunk evaluation, and warm-starts
+        from the persistent result cache under ``cache_dir`` — none of
+        which can change an estimate (the engine's determinism contract).
         """
-        from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
-
-        if seed is None:
-            seed = int(self._rng.integers(2**63))
-        engine = BatchEngine(
-            self.graph,
-            seed=seed,
-            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
-            workers=workers,
+        return run_engine_batch(
+            self, queries, seed=seed, chunk_size=chunk_size,
+            workers=workers, cache_dir=cache_dir,
         )
-        self._batch_engine = engine  # memory_bytes() reflects the last path
-        return engine.run(queries).estimates
 
     def memory_bytes(self) -> int:
         # Graph + the reusable visited-epoch array + the frontier queue;

@@ -36,17 +36,35 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.core.estimators.base import Estimator
+from repro.core.estimators.base import (
+    Estimator,
+    QueryStatistics,
+    coerce_batch_queries,
+)
 from repro.core.estimators.monte_carlo import MonteCarloEstimator
 from repro.core.graph import UncertainGraph, or_combine
 from repro.util.rng import SeedLike
-from repro.util.validation import check_positive
 
 DEFAULT_WIDTH = 2  # the paper's lossless setting
+
+#: Namespace key for the batch path's per-bag-pair inner seeds, so they
+#: cannot collide with the engine's world stream (0x57) or the base
+#: fallback's per-query substreams (0x42) under one root seed.
+_BAG_STREAM = 0x50
 
 ROOT_BAG = -1  # sentinel parent id for bags hanging off the root
 
@@ -234,24 +252,47 @@ class FWDProbTreeIndex:
     # Query-graph assembly (Alg. 8)
     # ------------------------------------------------------------------
 
-    def _lift_chain(self, node: int) -> List[int]:
-        """Bag ids from the bag covering ``node`` up to the root (exclusive)."""
+    def _chain_from_bag(self, bag_id: int) -> List[int]:
+        """Bag ids from ``bag_id`` up to the root (root exclusive)."""
         chain: List[int] = []
-        bag_id = self.bag_of_covered.get(node, ROOT_BAG)
         while bag_id != ROOT_BAG:
             chain.append(bag_id)
             bag_id = self.bags[bag_id].parent
         return chain
 
-    def query_graph(
-        self, source: int, target: int
-    ) -> Tuple[UncertainGraph, int, int, Dict[int, int]]:
-        """Assemble the equivalent query graph for ``(source, target)``.
+    def _lift_chain(self, node: int) -> List[int]:
+        """Bag ids from the bag covering ``node`` up to the root (exclusive)."""
+        return self._chain_from_bag(self.bag_of_covered.get(node, ROOT_BAG))
 
-        Returns ``(graph, mapped_source, mapped_target, node_map)`` where
-        ``node_map`` sends original node ids to query-graph ids.
+    def lift_key(self, source: int, target: int) -> Tuple[int, int]:
+        """The (covering bag of ``source``, covering bag of ``target``) pair.
+
+        The assembled query graph depends on ``(source, target)`` *only*
+        through this pair: the lift set is the union of the two bags'
+        parent chains, and every node is a member of its covering bag (or
+        of the root), so two queries sharing a lift key share one
+        equivalent graph — the reuse the batch fast path exploits.
+        ``ROOT_BAG`` stands for "not covered by any bag".
         """
-        lift_set = set(self._lift_chain(source)) | set(self._lift_chain(target))
+        return (
+            self.bag_of_covered.get(source, ROOT_BAG),
+            self.bag_of_covered.get(target, ROOT_BAG),
+        )
+
+    def lifted_graph(
+        self, key: Tuple[int, int]
+    ) -> Tuple[UncertainGraph, Dict[int, int]]:
+        """Assemble the equivalent graph for a :meth:`lift_key` pair.
+
+        Returns ``(graph, node_map)`` where ``node_map`` sends original
+        node ids (of every lifted bag plus the root) to query-graph ids.
+        This is Alg. 8 keyed by bag pair instead of node pair: batched
+        queries sharing a key call this **once** and reuse the graph.
+        """
+        bag_s, bag_t = key
+        lift_set = set(self._chain_from_bag(bag_s)) | set(
+            self._chain_from_bag(bag_t)
+        )
         effective: Dict[int, List[BagEdge]] = {}
 
         def edges_of(container: int) -> List[BagEdge]:
@@ -277,14 +318,26 @@ class FWDProbTreeIndex:
         query_nodes: Set[int] = set(self.root_nodes)
         for bag_id in lift_set:
             query_nodes.update(self.bags[bag_id].nodes)
-        query_nodes.add(source)
-        query_nodes.add(target)
 
         node_map = {node: i for i, node in enumerate(sorted(query_nodes))}
         triples = [
             (node_map[u], node_map[w], p) for u, w, p, _ in final_edges
         ]
         graph = UncertainGraph(len(node_map), triples)
+        return graph, node_map
+
+    def query_graph(
+        self, source: int, target: int
+    ) -> Tuple[UncertainGraph, int, int, Dict[int, int]]:
+        """Assemble the equivalent query graph for ``(source, target)``.
+
+        Returns ``(graph, mapped_source, mapped_target, node_map)`` where
+        ``node_map`` sends original node ids to query-graph ids.  Every
+        node is either covered by a bag (and that bag is on the lift
+        chain) or alive in the root, so ``source`` and ``target`` are
+        always present in the assembled graph.
+        """
+        graph, node_map = self.lifted_graph(self.lift_key(source, target))
         return graph, node_map[source], node_map[target], node_map
 
     # ------------------------------------------------------------------
@@ -353,6 +406,19 @@ class FWDProbTreeIndex:
         return index
 
 
+def _group_seed(seed: int, key: Tuple[int, int]) -> int:
+    """Derive one bag-pair group's inner batch seed from the root seed.
+
+    Stable in ``(seed, key)`` and independent across keys, so duplicate
+    queries agree whatever workload they arrive in.  ``ROOT_BAG`` (-1) is
+    shifted up because ``SeedSequence`` entropy must be non-negative.
+    """
+    sequence = np.random.SeedSequence(
+        (int(seed), _BAG_STREAM, int(key[0]) + 1, int(key[1]) + 1)
+    )
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
 class ProbTreeEstimator(Estimator):
     """s-t reliability through the FWD ProbTree index (Alg. 8).
 
@@ -364,6 +430,7 @@ class ProbTreeEstimator(Estimator):
     key = "prob_tree"
     display_name = "ProbTree"
     uses_index = True
+    batch_path = "bag_grouped"
 
     def __init__(
         self,
@@ -396,6 +463,85 @@ class ProbTreeEstimator(Estimator):
             raise ValueError("index was built for a different graph instance")
         self._index = index
         self.width = index.width
+
+    def estimate_batch(
+        self,
+        queries: Iterable[Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> np.ndarray:
+        """Bag-grouped fast path: one lifted query graph per (s, t) bag pair.
+
+        The per-query path re-runs Alg. 8 for every query, but the
+        assembled equivalent graph depends on ``(s, t)`` only through the
+        pair of covering bags (:meth:`FWDProbTreeIndex.lift_key`).  The
+        batch path therefore groups the workload by that key, lifts each
+        group's query graph **once**, and submits the whole group to the
+        coupled estimator as one inner ``estimate_batch`` — so with the
+        default MC coupling, a group's queries additionally share one
+        engine world stream over the lifted graph (and, via
+        ``cache_dir``, a persistent result cache keyed by the lifted
+        graph's own fingerprint).
+
+        Determinism: each group's inner seed is derived from ``(seed,
+        bag pair)``, and inner batches deduplicate, so results depend on
+        neither workload order nor duplication — like the base fallback,
+        but not bit-identical to it (grouping changes which substream
+        answers which query; both are unbiased over the same lossless
+        lifted graphs, so agreement is statistical, within the
+        conformance suite's CI tolerance).
+
+        Hop-bounded queries are rejected: a derived bag edge collapses a
+        multi-edge detour into one hop, so the lifted graph does not
+        preserve §2.9 hop counts.
+        """
+        workload = coerce_batch_queries(
+            queries,
+            estimator_name=type(self).__name__,
+            allow_hops=False,
+            hops_reason=(
+                "its derived bag edges collapse multi-hop detours into "
+                "single edges, so the lifted query graph does not "
+                "preserve §2.9 hop counts — use the 'mc' or "
+                "'bfs_sharing' estimator for d-hop workloads"
+            ),
+        )
+        if seed is None:
+            seed = int(self._rng.integers(2**63))
+        self.last_batch_result = None
+        self.last_query_statistics = QueryStatistics(
+            samples_requested=sum(entry[2] for entry in workload)
+        )
+        index = self.index
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for position, (source, target, _, _) in enumerate(workload):
+            key = index.lift_key(source, target)
+            groups.setdefault(key, []).append(position)
+
+        results = np.empty(len(workload), dtype=np.float64)
+        for key in sorted(groups):  # deterministic group order
+            members = groups[key]
+            lifted, node_map = index.lifted_graph(key)
+            self._last_query_graph = lifted
+            inner = self.estimator_factory(lifted)
+            inner_queries = [
+                (
+                    node_map[workload[position][0]],
+                    node_map[workload[position][1]],
+                    workload[position][2],
+                )
+                for position in members
+            ]
+            estimates = inner.estimate_batch(
+                inner_queries,
+                seed=_group_seed(seed, key),
+                workers=workers,
+                cache_dir=cache_dir,
+            )
+            results[np.asarray(members, dtype=np.int64)] = estimates
+        return results
 
     def _estimate(
         self,

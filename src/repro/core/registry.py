@@ -9,7 +9,7 @@ from the default suite, mirroring the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from repro.core.estimators.base import Estimator
 from repro.core.estimators.bfs_sharing import BFSSharingEstimator

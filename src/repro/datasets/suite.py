@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.graph import UncertainGraph
 from repro.datasets import edge_probability as probability_models
 from repro.datasets import generators
-from repro.util.rng import SeedLike, ensure_generator
+from repro.util.rng import ensure_generator
 
 Builder = Callable[[int, np.random.Generator], UncertainGraph]
 

@@ -18,8 +18,10 @@ from repro.engine.batch import (
     resolve_workers,
 )
 from repro.engine.cache import (
+    PersistentResultCache,
     ResultCache,
     graph_fingerprint,
+    open_result_cache,
     result_key,
 )
 from repro.engine.parallel import ParallelBatchEngine, default_worker_count
@@ -32,8 +34,10 @@ __all__ = [
     "BatchResult",
     "estimate_workload",
     "resolve_workers",
+    "PersistentResultCache",
     "ResultCache",
     "graph_fingerprint",
+    "open_result_cache",
     "result_key",
     "ParallelBatchEngine",
     "default_worker_count",

@@ -75,9 +75,10 @@ from repro.engine.cache import (
     DEFAULT_CACHE_CAPACITY,
     ResultCache,
     graph_fingerprint,
+    open_result_cache,
     result_key,
 )
-from repro.engine.plan import BatchQuery, QueryLike, QueryPlan, plan_queries
+from repro.engine.plan import BatchQuery, QueryLike, plan_queries
 from repro.util import bitset
 from repro.util.rng import stable_substream
 from repro.util.validation import check_positive
@@ -173,6 +174,13 @@ class BatchEngine:
     cache:
         A shared :class:`ResultCache`; by default each engine owns one of
         ``DEFAULT_CACHE_CAPACITY`` entries.
+    cache_dir:
+        Convenience for persistence: when given (and ``cache`` is not),
+        the engine opens the :class:`~repro.engine.cache.
+        PersistentResultCache` sidecar under this directory, so estimates
+        survive the process and a re-run warm-starts with zero world
+        evaluations.  Exactness is unaffected — the cache key fully
+        determines the estimate.
     """
 
     def __init__(
@@ -185,6 +193,7 @@ class BatchEngine:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.graph = graph
         if seed is None:
@@ -197,7 +206,13 @@ class BatchEngine:
             )
         self.sweep = sweep
         self.workers = resolve_workers(workers)
-        self.cache = cache if cache is not None else ResultCache(cache_capacity)
+        if cache is None:
+            cache = (
+                open_result_cache(cache_dir, capacity=cache_capacity)
+                if cache_dir is not None
+                else ResultCache(cache_capacity)
+            )
+        self.cache = cache
         self.fingerprint = graph_fingerprint(graph)
         self._sampler = ReachabilitySampler(graph)
 
@@ -499,10 +514,12 @@ def estimate_workload(
     seed: Optional[int] = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> BatchResult:
     """One-shot convenience wrapper: plan, run, return the report."""
     engine = BatchEngine(
-        graph, seed=seed, chunk_size=chunk_size, workers=workers
+        graph, seed=seed, chunk_size=chunk_size, workers=workers,
+        cache_dir=cache_dir,
     )
     return engine.run(queries)
 

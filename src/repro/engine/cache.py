@@ -13,17 +13,28 @@ observation (§2.2/§3.7) that the expensive part of an estimate is sampling,
 not arithmetic — a served query whose worlds were already drawn should
 never draw them again.
 
-The cache is a plain LRU over that key.  It deliberately stores only
-floats: worlds themselves are streamed and dropped (the §2.3 lesson — BFS
-Sharing's offline index shows that *retaining* K worlds costs ``O(Km)``
+The in-memory cache is a plain LRU over that key.  It deliberately stores
+only floats: worlds themselves are streamed and dropped (the §2.3 lesson —
+BFS Sharing's offline index shows that *retaining* K worlds costs ``O(Km)``
 memory, which is exactly what the engine's ``chunk_size`` knob avoids).
+
+:class:`PersistentResultCache` extends the LRU with a SQLite *sidecar*
+file, so estimates survive the process: a benchmark re-run, a second
+``repro batch`` invocation, or a freshly started serving process
+warm-starts from disk and answers repeated queries with **zero** world
+evaluations.  Because the key is exact (see above), persistence cannot
+change any estimate — a disk hit replays the very number a fresh
+evaluation would produce, across processes and machines alike.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import sqlite3
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.graph import UncertainGraph
 from repro.util.validation import check_positive
@@ -36,6 +47,15 @@ ResultKey = Tuple[str, int, int, int, int, int]
 UNBOUNDED_HOPS = -1
 
 DEFAULT_CACHE_CAPACITY = 4096
+
+#: Default bound on sidecar rows; far above any benchmark workload, small
+#: enough that the file stays a few megabytes at worst.
+DEFAULT_DISK_CAPACITY = 65536
+
+#: The sidecar filename used when callers hand over a *directory*
+#: (``repro batch --cache-dir``): one file can hold results for any
+#: number of graphs, because the fingerprint is part of every key.
+RESULT_CACHE_FILENAME = "results.sqlite"
 
 _FINGERPRINT_ATTRIBUTE = "_engine_fingerprint"
 
@@ -133,11 +153,275 @@ class ResultCache:
         }
 
 
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT NOT NULL,
+    source INTEGER NOT NULL,
+    target INTEGER NOT NULL,
+    samples INTEGER NOT NULL,
+    seed TEXT NOT NULL,
+    max_hops INTEGER NOT NULL,
+    value REAL NOT NULL,
+    touched INTEGER NOT NULL,
+    PRIMARY KEY (fingerprint, source, target, samples, seed, max_hops)
+)
+"""
+
+#: How long a connection waits on another process's write lock before
+#: giving up (seconds).  Concurrent ``repro batch`` runs sharing a sidecar
+#: serialise on SQLite's file lock; readers never block readers.
+_SQLITE_TIMEOUT = 30.0
+
+
+class PersistentResultCache(ResultCache):
+    """A :class:`ResultCache` backed by a SQLite sidecar file.
+
+    Layered lookup: the in-memory LRU first (free), then the sidecar (one
+    indexed SELECT); disk hits are promoted into memory.  Writes go
+    through to both layers immediately, so a crash after ``put`` loses
+    nothing and concurrent processes see each other's results.
+
+    Failure containment — the sidecar is an *accelerator*, never a
+    correctness dependency:
+
+    * a corrupted file is quarantined (renamed to ``*.corrupt``) and a
+      fresh sidecar is created in its place;
+    * if SQLite errors at runtime (disk full, file deleted underneath
+      us, ...), persistence is disabled and the cache degrades to the
+      plain in-memory LRU — estimates keep flowing;
+    * a fingerprint mismatch is not an error at all: keys of a mutated
+      (hence re-fingerprinted) graph simply never collide with stale
+      rows, which age out via the disk LRU below.
+
+    Eviction: rows carry a monotone ``touched`` tick, bumped on every put
+    and disk hit; once the table exceeds ``disk_capacity`` the
+    least-recently-touched rows are deleted.  A result served purely from
+    the memory layer does not refresh its disk recency — keeping the hot
+    path free of write traffic — so disk LRU order follows disk activity,
+    which is what governs warm starts.  Seeds are stored as TEXT because
+    engine seeds span the full unsigned 64-bit range, which SQLite's
+    signed INTEGER cannot hold.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        disk_capacity: int = DEFAULT_DISK_CAPACITY,
+    ) -> None:
+        super().__init__(capacity)
+        self.path = Path(path)
+        self.disk_capacity = check_positive(disk_capacity, "disk_capacity")
+        self.disk_hits = 0
+        self._tick = 0
+        #: Upper bound on the sidecar's row count, maintained locally so
+        #: eviction does not pay a full-table COUNT per put: +1 per
+        #: insert (REPLACEs overcount, which is safe), re-synced with the
+        #: true count whenever the bound crosses ``disk_capacity``.
+        self._row_bound = 0
+        self._connection: Optional[sqlite3.Connection] = None
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Sidecar lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def disabled(self) -> bool:
+        """Whether persistence has been turned off (memory LRU still works)."""
+        return self._connection is None
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = self._connect()
+        except sqlite3.Error:
+            self._quarantine()
+            try:
+                self._connection = self._connect()
+            except sqlite3.Error:
+                self._connection = None
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path, timeout=_SQLITE_TIMEOUT)
+        try:
+            connection.execute(_SCHEMA)
+            connection.commit()
+            # Probe: a garbage file connects fine but fails its first
+            # real statement with "file is not a database".
+            row = connection.execute(
+                "SELECT COALESCE(MAX(touched), 0) FROM results"
+            ).fetchone()
+            count = connection.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+        except sqlite3.Error:
+            connection.close()
+            raise
+        self._tick = int(row[0])
+        self._row_bound = int(count[0])
+        return connection
+
+    def _quarantine(self) -> None:
+        """Move a corrupted sidecar aside so a fresh one can be created."""
+        try:
+            os.replace(self.path, self.path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def _disable(self) -> None:
+        """Stop touching the sidecar after a runtime failure."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        """Release the SQLite connection (all writes are already durable)."""
+        self._disable()
+
+    # ------------------------------------------------------------------
+    # Layered get / write-through put
+    # ------------------------------------------------------------------
+
+    def get(self, key: ResultKey) -> Optional[float]:
+        """Memory first, then the sidecar; disk hits are promoted."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        value = self._disk_get(key)
+        if value is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            super().put(key, value)  # promote into the memory LRU only
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: ResultKey, value: float) -> None:
+        super().put(key, value)
+        self._disk_put(key, float(value))
+
+    def _disk_get(self, key: ResultKey) -> Optional[float]:
+        if self._connection is None:
+            return None
+        fingerprint, source, target, samples, seed, max_hops = key
+        try:
+            row = self._connection.execute(
+                "SELECT value FROM results WHERE fingerprint = ? AND "
+                "source = ? AND target = ? AND samples = ? AND seed = ? "
+                "AND max_hops = ?",
+                (fingerprint, source, target, samples, str(seed), max_hops),
+            ).fetchone()
+            if row is None:
+                return None
+            self._tick += 1
+            self._connection.execute(
+                "UPDATE results SET touched = ? WHERE fingerprint = ? AND "
+                "source = ? AND target = ? AND samples = ? AND seed = ? "
+                "AND max_hops = ?",
+                (
+                    self._tick, fingerprint, source, target, samples,
+                    str(seed), max_hops,
+                ),
+            )
+            self._connection.commit()
+            return float(row[0])
+        except sqlite3.Error:
+            self._disable()
+            return None
+
+    def _disk_put(self, key: ResultKey, value: float) -> None:
+        if self._connection is None:
+            return
+        fingerprint, source, target, samples, seed, max_hops = key
+        self._tick += 1
+        try:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?, ?, ?, "
+                "?, ?)",
+                (
+                    fingerprint, source, target, samples, str(seed),
+                    max_hops, value, self._tick,
+                ),
+            )
+            self._row_bound += 1  # REPLACE overcounts; resync below fixes it
+            if self._row_bound > self.disk_capacity:
+                overflow = self._disk_size() - self.disk_capacity
+                if self._connection is None:  # _disk_size hit an error
+                    return
+                if overflow > 0:
+                    self._connection.execute(
+                        "DELETE FROM results WHERE rowid IN (SELECT rowid "
+                        "FROM results ORDER BY touched ASC, rowid ASC "
+                        "LIMIT ?)",
+                        (overflow,),
+                    )
+                    self._row_bound = self.disk_capacity
+            self._connection.commit()
+        except sqlite3.Error:
+            self._disable()
+
+    def _disk_size(self) -> int:
+        """True sidecar row count (one COUNT; also resyncs the bound)."""
+        if self._connection is None:
+            return 0
+        try:
+            count = int(
+                self._connection.execute("SELECT COUNT(*) FROM results")
+                .fetchone()[0]
+            )
+        except sqlite3.Error:
+            self._disable()
+            return 0
+        self._row_bound = count
+        return count
+
+    def statistics(self) -> Dict[str, int]:
+        """Base counters plus the sidecar's size, hits, and health."""
+        stats = super().statistics()
+        stats.update(
+            {
+                "disk_hits": self.disk_hits,
+                "disk_size": self._disk_size(),
+                "disk_capacity": self.disk_capacity,
+                "persistent": not self.disabled,
+            }
+        )
+        return stats
+
+
+def open_result_cache(
+    cache_dir: Union[str, Path],
+    capacity: int = DEFAULT_CACHE_CAPACITY,
+    disk_capacity: int = DEFAULT_DISK_CAPACITY,
+) -> PersistentResultCache:
+    """Open (or create) the persistent result cache under ``cache_dir``.
+
+    The directory is created if missing; the sidecar inside it is
+    :data:`RESULT_CACHE_FILENAME`.  One directory can serve any number of
+    graphs and seeds — the full key disambiguates.
+    """
+    return PersistentResultCache(
+        Path(cache_dir) / RESULT_CACHE_FILENAME,
+        capacity=capacity,
+        disk_capacity=disk_capacity,
+    )
+
+
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_DISK_CAPACITY",
+    "RESULT_CACHE_FILENAME",
     "UNBOUNDED_HOPS",
     "ResultKey",
     "ResultCache",
+    "PersistentResultCache",
     "graph_fingerprint",
+    "open_result_cache",
     "result_key",
 ]

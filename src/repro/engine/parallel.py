@@ -61,7 +61,10 @@ def _initialise_worker(
         chunk_size=chunk_size,
         sweep=sweep,
         workers=1,  # workers never nest pools
-        cache_capacity=1,  # parent owns the real result cache
+        # The parent owns the real result cache — including any
+        # persistent sidecar; workers never open the SQLite file, so the
+        # fan-out adds no write contention.
+        cache_capacity=1,
     )
     _WORKER_GROUPS = groups
     _WORKER_PENDING = pending

@@ -8,7 +8,7 @@ disagree with each other at a given K.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 import numpy as np
 

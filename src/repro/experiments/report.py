@@ -8,7 +8,7 @@ plots would read off.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 
 def format_table(

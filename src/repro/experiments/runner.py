@@ -59,6 +59,12 @@ class StudyConfig:
     #: engine default).  A pure wall-clock knob: by the engine's
     #: determinism contract it cannot change any measured estimate.
     engine_workers: Optional[int] = None
+    #: Directory of the persistent result-cache sidecar for engine-backed
+    #: batch evaluation (``None`` = in-memory only).  Like ``workers`` a
+    #: pure wall-clock knob — the cache key fully determines each
+    #: estimate — but one that survives the process: re-running the same
+    #: study serves every grid point from disk.
+    engine_cache_dir: Optional[str] = None
     #: Hop bound for §2.9 d-hop reliability studies: every workload query
     #: measures "reaches within max_hops edges" instead of plain
     #: reachability.  Requires ``use_batch_engine=True`` and an estimator
@@ -222,6 +228,7 @@ def run_study(config: StudyConfig) -> StudyResult:
             use_batch=config.use_batch_engine,
             workers=config.engine_workers,
             max_hops=config.max_hops,
+            cache_dir=config.engine_cache_dir,
         )
 
     reference_key = (

@@ -14,7 +14,7 @@ or "we just observed this link alive — how does the picture change?".
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 

@@ -10,8 +10,6 @@ exceeds the graph's longest shortest path.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.graph import UncertainGraph

@@ -10,13 +10,12 @@ provided for index-free use.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.estimators.bfs_sharing import BFSSharingEstimator
 from repro.core.graph import UncertainGraph
-from repro.core.possible_world import ReachabilitySampler
 from repro.util import bitset
 from repro.util.bitset import concatenate_ranges
 from repro.util.rng import SeedLike, ensure_generator

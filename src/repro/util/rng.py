@@ -9,7 +9,7 @@ cell, so adding repeats never perturbs earlier ones.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 
@@ -40,7 +40,10 @@ def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     if isinstance(seed, np.random.Generator):
         # Derive children by jumping the parent's bit generator state.
         return [ensure_generator(int(seed.integers(2**63))) for _ in range(count)]
-    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 

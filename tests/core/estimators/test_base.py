@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.estimators.base import Estimator, QueryStatistics
-from repro.core.graph import UncertainGraph
+from repro.core.estimators.base import QueryStatistics
 from repro.core.registry import PAPER_ESTIMATORS, create_estimator
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.estimators.bfs_sharing import BFSSharingEstimator, BFSSharingIndex
 from repro.core.exact import reliability_exact
-from repro.core.graph import UncertainGraph
 from repro.core.possible_world import reachable_in_world
 from repro.util import bitset
 from tests.conftest import random_graph
@@ -126,3 +125,60 @@ class TestEstimator:
         before = estimator.memory_bytes()
         estimator.prepare()
         assert estimator.memory_bytes() > before
+
+
+class TestBatchFastPath:
+    """The engine-chunk batch path: packed index built from world chunks."""
+
+    WORKLOAD = [(0, 3, 300), (0, 2, 200), (1, 3, 300), (0, 3, 300)]
+
+    def test_matches_engine_bit_for_bit(self, diamond_graph):
+        from repro.engine.batch import BatchEngine
+
+        estimator = BFSSharingEstimator(diamond_graph, seed=0)
+        via_estimator = estimator.estimate_batch(self.WORKLOAD, seed=5)
+        via_engine = BatchEngine(diamond_graph, seed=5).run(self.WORKLOAD)
+        np.testing.assert_array_equal(via_estimator, via_engine.estimates)
+        assert estimator.last_batch_result.worlds_sampled == 300
+
+    def test_matches_mc_fast_path_bit_for_bit(self, diamond_graph):
+        from repro.core.estimators.monte_carlo import MonteCarloEstimator
+
+        bfs = BFSSharingEstimator(diamond_graph, seed=0)
+        mc = MonteCarloEstimator(diamond_graph, seed=0)
+        np.testing.assert_array_equal(
+            bfs.estimate_batch(self.WORKLOAD, seed=5),
+            mc.estimate_batch(self.WORKLOAD, seed=5),
+        )
+
+    def test_serves_hop_bounded_queries(self, diamond_graph):
+        from repro.engine.batch import BatchEngine
+
+        queries = [(0, 3, 250, 1), (0, 3, 250, 2), (0, 3, 250)]
+        estimator = BFSSharingEstimator(diamond_graph, seed=0)
+        estimates = estimator.estimate_batch(queries, seed=5)
+        oracle = BatchEngine(diamond_graph, seed=5).run(queries).estimates
+        np.testing.assert_array_equal(estimates, oracle)
+        assert estimates[0] == 0.0  # 0 -> 3 needs two hops in the diamond
+        assert estimates[1] == estimates[2]  # the diamond is 2 hops deep
+
+    def test_does_not_build_the_offline_index(self, diamond_graph):
+        estimator = BFSSharingEstimator(diamond_graph, seed=0)
+        estimator.estimate_batch(self.WORKLOAD, seed=5)
+        assert estimator._index is None
+
+    def test_memory_reports_chunk_working_set_after_batch(self, diamond_graph):
+        estimator = BFSSharingEstimator(diamond_graph, seed=0)
+        estimator.estimate_batch(self.WORKLOAD, seed=5)
+        batched = estimator.memory_bytes()
+        assert batched == estimator._batch_engine.memory_bytes()
+        estimator.estimate(0, 3, 64, rng=0)  # per-query path resets
+        assert estimator._batch_engine is None
+        assert estimator.memory_bytes() != batched
+
+    def test_estimates_are_plausible(self):
+        graph = random_graph(3, node_count=9, edge_probability=0.3)
+        estimator = BFSSharingEstimator(graph, seed=0)
+        estimates = estimator.estimate_batch([(0, 8, 2_000)], seed=5)
+        exact = reliability_exact(graph, 0, 8)
+        assert abs(estimates[0] - exact) < 0.06

@@ -175,3 +175,84 @@ class TestEstimator:
         estimator = ProbTreeEstimator(diamond_graph, seed=0)
         estimator.estimate(0, 3, 100)
         assert estimator.last_query_statistics.samples_requested >= 100
+
+
+class TestLiftedGraphReuse:
+    """The bag-pair keying behind the batch fast path."""
+
+    def test_same_bags_share_a_lift_key(self):
+        graph = random_graph(4, node_count=14, edge_probability=0.2)
+        index = FWDProbTreeIndex(graph)
+        for s in range(graph.node_count):
+            for t in range(graph.node_count):
+                key = index.lift_key(s, t)
+                assert key == (
+                    index.bag_of_covered.get(s, ROOT_BAG),
+                    index.bag_of_covered.get(t, ROOT_BAG),
+                )
+
+    def test_lifted_graph_reproduces_query_graph(self):
+        graph = random_graph(5, node_count=12, edge_probability=0.25)
+        index = FWDProbTreeIndex(graph)
+        for s, t in [(0, 11), (3, 7), (11, 0), (2, 2)]:
+            lifted, node_map = index.lifted_graph(index.lift_key(s, t))
+            q_graph, q_s, q_t, q_map = index.query_graph(s, t)
+            assert node_map == q_map
+            assert (q_s, q_t) == (node_map[s], node_map[t])
+            assert lifted.node_count == q_graph.node_count
+            np.testing.assert_array_equal(lifted.probs, q_graph.probs)
+
+    def test_every_node_is_mapped(self):
+        # Covered nodes live in their bag; everything else is root-alive —
+        # so the lifted graph always contains both endpoints.
+        graph = random_graph(6, node_count=10, edge_probability=0.3)
+        index = FWDProbTreeIndex(graph)
+        for s in range(graph.node_count):
+            for t in range(graph.node_count):
+                _, node_map = index.lifted_graph(index.lift_key(s, t))
+                assert s in node_map and t in node_map
+
+
+class TestBatchFastPath:
+    """Bag-grouped batches: one lifted graph per (s, t) bag pair."""
+
+    def test_duplicates_and_order_do_not_matter(self):
+        graph = random_graph(7, node_count=10, edge_probability=0.3)
+        estimator = ProbTreeEstimator(graph, seed=0)
+        queries = [(0, 9, 200), (1, 8, 200), (0, 9, 200), (2, 7, 150)]
+        forward = estimator.estimate_batch(queries, seed=11)
+        assert forward[0] == forward[2]
+        backward = ProbTreeEstimator(graph, seed=0).estimate_batch(
+            list(reversed(queries)), seed=11
+        )
+        np.testing.assert_array_equal(forward, backward[::-1])
+
+    def test_statistically_matches_exact_on_lossless_graphs(self):
+        graph = random_graph(8, node_count=9, edge_probability=0.3)
+        estimator = ProbTreeEstimator(graph, seed=0)
+        estimates = estimator.estimate_batch([(0, 8, 2_000)], seed=3)
+        exact = reliability_exact(graph, 0, 8)
+        assert abs(estimates[0] - exact) < 0.06
+
+    def test_rejects_hop_bounded_queries(self):
+        graph = random_graph(9, node_count=8, edge_probability=0.3)
+        estimator = ProbTreeEstimator(graph, seed=0)
+        with pytest.raises(NotImplementedError, match="hop"):
+            estimator.estimate_batch([(0, 7, 100, 2)], seed=1)
+
+    def test_coupled_estimator_factory_is_honoured(self):
+        graph = random_graph(10, node_count=9, edge_probability=0.3)
+        estimator = ProbTreeEstimator(
+            graph, seed=0,
+            estimator_factory=lambda g: RecursiveSamplingEstimator(g, seed=0),
+        )
+        estimates = estimator.estimate_batch([(0, 8, 500)], seed=3)
+        exact = reliability_exact(graph, 0, 8)
+        assert abs(estimates[0] - exact) < 0.1
+
+    def test_replays_bit_for_bit_under_one_seed(self):
+        graph = random_graph(11, node_count=10, edge_probability=0.25)
+        queries = [(0, 9, 300), (4, 2, 200)]
+        a = ProbTreeEstimator(graph, seed=0).estimate_batch(queries, seed=5)
+        b = ProbTreeEstimator(graph, seed=0).estimate_batch(queries, seed=5)
+        np.testing.assert_array_equal(a, b)

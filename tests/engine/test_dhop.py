@@ -15,7 +15,7 @@ from repro.core.estimators.monte_carlo import MonteCarloEstimator
 from repro.core.registry import create_estimator
 from repro.datasets.queries import QueryWorkload
 from repro.engine.batch import BatchEngine
-from repro.engine.plan import BatchQuery, plan_queries
+from repro.engine.plan import plan_queries
 from repro.experiments.convergence import evaluate_at_k
 from tests.conftest import random_graph
 

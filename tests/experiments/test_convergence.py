@@ -151,3 +151,35 @@ class TestRunConvergence:
             seed=0,
         )
         assert result.points[-1].average_variance < result.points[0].average_variance
+
+
+class TestCacheDirWiring:
+    def test_cache_dir_requires_the_batch_path(self, graph, workload):
+        mc = MonteCarloEstimator(graph, seed=0)
+        with pytest.raises(ValueError, match="use_batch"):
+            evaluate_at_k(
+                mc, workload, samples=100, repeats=2, seed=0,
+                cache_dir="/tmp/nope",
+            )
+
+    def test_cached_grid_point_replays_identically(
+        self, graph, workload, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        mc = MonteCarloEstimator(graph, seed=0)
+        cold = evaluate_at_k(
+            mc, workload, samples=150, repeats=2, seed=1,
+            use_batch=True, cache_dir=cache_dir,
+        )
+        warm_mc = MonteCarloEstimator(graph, seed=0)
+        warm = evaluate_at_k(
+            warm_mc, workload, samples=150, repeats=2, seed=1,
+            use_batch=True, cache_dir=cache_dir,
+        )
+        np.testing.assert_array_equal(
+            cold.per_pair_means, warm.per_pair_means
+        )
+        # The warm grid point was served from the sidecar: its last
+        # repeat's batch sampled nothing, while the cold run sampled.
+        assert mc.last_batch_result.worlds_sampled > 0
+        assert warm_mc.last_batch_result.worlds_sampled == 0

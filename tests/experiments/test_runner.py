@@ -1,6 +1,5 @@
 """Integration tests for the study runner (small but end-to-end)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.convergence import ConvergenceCriterion

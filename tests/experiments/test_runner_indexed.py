@@ -5,7 +5,6 @@ the K grid, per-query refresh for inter-query independence) and that
 ProbTree's offline phase is timed separately, end-to-end on a tiny study.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.convergence import ConvergenceCriterion

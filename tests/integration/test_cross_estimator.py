@@ -103,7 +103,9 @@ class TestProbTreeCouplings:
     def test_coupled_probtree_matches_exact(self, inner_key):
         graph = random_graph(2)
         exact = reliability_exact(graph, 0, 7)
-        factory = lambda g: make(inner_key, g)
+        def factory(g):
+            return make(inner_key, g)
+
         estimator = create_estimator(
             "prob_tree", graph, estimator_factory=factory, seed=0
         )

@@ -87,6 +87,85 @@ class TestEstimatorConformance:
         )
 
 
+@pytest.mark.parametrize("key", CONFORMANT_ESTIMATORS)
+class TestBatchPathConformance:
+    """Every estimator's ``estimate_batch`` vs the exact oracle.
+
+    Same acceptance band as the per-query sweep, but through the batch
+    entry point — covering the shared-world fast paths of ``mc`` and
+    ``bfs_sharing`` (engine world chunks), the bag-grouped path of
+    ``prob_tree`` (one lifted query graph per (s, t) bag pair), and the
+    per-query fallback of the rest.  A fast path that answered a
+    *different* random variable than its estimator would be caught here.
+    """
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(parts=small_graph_parts)
+    def test_batch_estimate_within_ci_of_exact(self, key, parts):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        exact = reliability_exact(graph, source, target)
+        estimator = create_estimator(key, graph, seed=0)
+        estimator.prepare()
+        estimate = estimator.estimate_batch(
+            [(source, target, SAMPLES)], seed=0
+        )[0]
+        assert abs(estimate - exact) <= tolerance(exact), (
+            f"{key} batch path: |{estimate} - exact {exact}| > "
+            f"{tolerance(exact)}"
+        )
+
+
+class TestFastPathDeterminism:
+    """The PR-3 determinism contract, held at conformance granularity.
+
+    Where the batch path is engine-served it must agree with the engine
+    (and hence with ``mc``) **bit for bit**; where it is a sampling
+    composition (``prob_tree``) it must at least replay exactly under one
+    seed, so CI comparisons are stable.
+    """
+
+    @CONFORMANCE_SETTINGS
+    @given(parts=small_graph_parts)
+    def test_engine_backed_paths_agree_bitwise(self, parts):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        queries = [(source, target, SAMPLES), (source, target, 300)]
+        mc = create_estimator("mc", graph, seed=0)
+        bfs = create_estimator("bfs_sharing", graph, seed=0)
+        engine = BatchEngine(graph, seed=11).run(queries).estimates
+        np.testing.assert_array_equal(
+            mc.estimate_batch(queries, seed=11), engine
+        )
+        np.testing.assert_array_equal(
+            bfs.estimate_batch(queries, seed=11), engine
+        )
+
+    @CONFORMANCE_SETTINGS
+    @given(parts=small_graph_parts)
+    def test_prob_tree_batch_replays_under_seed(self, parts):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        queries = [
+            (source, target, 300),
+            (target, source, 300),
+            (source, target, 300),  # duplicate must agree with [0]
+        ]
+        first = create_estimator("prob_tree", graph, seed=0).estimate_batch(
+            queries, seed=11
+        )
+        second = create_estimator("prob_tree", graph, seed=0).estimate_batch(
+            queries, seed=11
+        )
+        np.testing.assert_array_equal(first, second)
+        assert first[0] == first[2]
+
+
 class TestEngineConformance:
     """The batch engine is an estimator too — hold it to the same oracle."""
 

@@ -1,0 +1,108 @@
+"""Cross-process warm start: the acceptance test for cache persistence.
+
+Each test runs the real ``repro`` CLI in **separate OS processes**
+(``sys.executable -m repro``), sharing only the ``--cache-dir`` sidecar on
+disk.  The second process must be served entirely from the persistent
+cache — zero world evaluations — with bit-identical estimates, which is
+the whole point of spilling the result cache past process lifetime.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_repro(arguments, tmp_path):
+    """Run ``python -m repro <arguments>`` in a fresh process."""
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        capture_output=True,
+        text=True,
+        env=environment,
+        cwd=tmp_path,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text("0 5 200\n3 9 150\n0 7 200 2\n", encoding="utf-8")
+    return path
+
+
+def batch_arguments(query_file, cache_dir, *extra):
+    return [
+        "batch", "--queries", str(query_file), "--dataset", "lastfm",
+        "--scale", "tiny", "--seed", "3", "--cache-dir", str(cache_dir),
+        *extra,
+    ]
+
+
+class TestCrossProcessWarmStart:
+    def test_second_run_samples_zero_worlds(self, tmp_path, query_file):
+        cache_dir = tmp_path / "cache"
+        cold = json.loads(
+            run_repro(batch_arguments(query_file, cache_dir), tmp_path)
+        )
+        warm = json.loads(
+            run_repro(batch_arguments(query_file, cache_dir), tmp_path)
+        )
+        assert cold["engine"]["worlds_sampled"] == 200
+        assert warm["engine"]["worlds_sampled"] == 0
+        assert warm["engine"]["sweeps"] == 0
+        assert warm["engine"]["cache"]["disk_hits"] == warm["query_count"]
+        assert [row["estimate"] for row in warm["results"]] == [
+            row["estimate"] for row in cold["results"]
+        ]
+
+    def test_warm_start_crosses_estimators(self, tmp_path, query_file):
+        # mc and bfs_sharing share the engine's exact cache key, so a
+        # sidecar written by one serves the other — across processes.
+        cache_dir = tmp_path / "cache"
+        cold = json.loads(
+            run_repro(batch_arguments(query_file, cache_dir), tmp_path)
+        )
+        warm = json.loads(
+            run_repro(
+                batch_arguments(
+                    query_file, cache_dir, "--method", "bfs_sharing"
+                ),
+                tmp_path,
+            )
+        )
+        assert warm["engine"]["worlds_sampled"] == 0
+        assert [row["estimate"] for row in warm["results"]] == [
+            row["estimate"] for row in cold["results"]
+        ]
+
+    def test_corrupted_sidecar_is_survived_end_to_end(
+        self, tmp_path, query_file
+    ):
+        from repro.engine.cache import RESULT_CACHE_FILENAME
+
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / RESULT_CACHE_FILENAME).write_bytes(b"corrupt" * 100)
+        report = json.loads(
+            run_repro(batch_arguments(query_file, cache_dir), tmp_path)
+        )
+        assert report["engine"]["worlds_sampled"] == 200
+        rerun = json.loads(
+            run_repro(batch_arguments(query_file, cache_dir), tmp_path)
+        )
+        assert rerun["engine"]["worlds_sampled"] == 0

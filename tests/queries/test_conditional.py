@@ -1,6 +1,5 @@
 """Tests for conditional reliability queries."""
 
-import numpy as np
 import pytest
 
 from repro.core.graph import UncertainGraph

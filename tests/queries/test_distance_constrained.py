@@ -1,6 +1,5 @@
 """Tests for distance-constrained reliability queries."""
 
-import numpy as np
 import pytest
 
 from repro.core.graph import UncertainGraph

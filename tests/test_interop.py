@@ -1,7 +1,6 @@
 """Tests for NetworkX interoperability."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.core.exact import reliability_exact
