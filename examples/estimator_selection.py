@@ -8,11 +8,10 @@ and rejected estimators.
 Run:  python examples/estimator_selection.py
 """
 
-from repro import recommend_estimator
+from repro.api import RecommendRequest, ReliabilityService
 from repro.core.recommend import STAR_RATINGS, overall_recommendation
-from repro.core.registry import create_estimator, display_name
+from repro.core.registry import display_name
 from repro.datasets.queries import generate_workload
-from repro.datasets.suite import load_dataset
 from repro.experiments.convergence import evaluate_at_k
 from repro.experiments.memory import format_bytes
 from repro.experiments.report import stars
@@ -21,19 +20,18 @@ from repro.experiments.report import stars
 def main() -> None:
     scenarios = [
         ("embedded device, low memory, latency-sensitive",
-         dict(memory_limited=True, want_fastest=True)),
+         RecommendRequest(memory_limited=True)),
         ("low memory, batch jobs (latency tolerant)",
-         dict(memory_limited=True, want_fastest=False)),
+         RecommendRequest(memory_limited=True, latency_tolerant=True)),
         ("big server, need tightest estimates",
-         dict(memory_limited=False, want_lowest_variance=True)),
+         RecommendRequest(lowest_variance=True)),
         ("big server, pre-sampled worlds acceptable",
-         dict(memory_limited=False)),
+         RecommendRequest()),
     ]
     print("Decision-tree walks (paper Fig. 18):")
-    for label, kwargs in scenarios:
-        recommendation = recommend_estimator(**kwargs)
-        names = ", ".join(display_name(k) for k in recommendation.estimators)
-        print(f"  {label:48s} -> {names}")
+    for label, request in scenarios:
+        response = ReliabilityService.recommend(request)
+        print(f"  {label:48s} -> {', '.join(response.display_names)}")
     print(f"\noverall paper recommendation: {display_name(overall_recommendation())}")
 
     print("\nPaper star ratings (Table 17, online query processing):")
@@ -48,14 +46,16 @@ def main() -> None:
             f"{stars(rating['memory']):10s}"
         )
 
-    # Empirical check on the AS-topology analogue.
-    dataset = load_dataset("as_topology", scale="tiny", seed=0)
+    # Empirical check on the AS-topology analogue, estimators built
+    # through the facade's construction hook (the runner does the same).
+    service = ReliabilityService.from_dataset("as_topology", "tiny", seed=0)
+    dataset = service.dataset
     workload = generate_workload(dataset.graph, pair_count=4, hop_distance=2, seed=2)
     print(f"\nEmpirical profile on {dataset.title} analogue ({dataset.graph}):")
     print(f"  {'method':12s} {'variance':>12s} {'s/query':>9s} {'memory':>10s}")
     for key in ("mc", "prob_tree", "rss"):
         options = {"stratum_edges": 10} if key == "rss" else {}
-        estimator = create_estimator(key, dataset.graph, seed=0, **options)
+        estimator = service.create_estimator(key, **options)
         estimator.prepare()
         point = evaluate_at_k(estimator, workload, samples=500, repeats=6, seed=0)
         print(

@@ -16,12 +16,9 @@ Run:  python examples/p2p_file_transfer.py
 
 import numpy as np
 
+from repro.api import ReliabilityService, TopKRequest
 from repro.core.graph import GraphBuilder
-from repro.queries import (
-    failure_impact,
-    reliable_set,
-    top_k_reliable_targets,
-)
+from repro.queries import failure_impact, reliable_set
 
 
 def build_overlay(peer_count: int, seed: int):
@@ -50,10 +47,13 @@ def main() -> None:
     print(f"P2P overlay: {graph}")
     print(f"downloader: peer {downloader} (uptime {uptime[downloader]:.2f})\n")
 
-    # 1. The most reliably reachable peers (candidate seeds).
-    ranking = top_k_reliable_targets(
-        graph, downloader, k=8, samples=800, method="bfs_sharing", rng=1
-    )
+    # 1. The most reliably reachable peers (candidate seeds) — the
+    # top-k endpoint of the service facade (BFS Sharing's original
+    # query), identical to `repro topk` / the library call.
+    service = ReliabilityService(graph, seed=1)
+    ranking = service.topk(
+        TopKRequest(source=downloader, k=8, samples=800)
+    ).ranking
     print("top-8 seed candidates by transfer reliability:")
     for rank, (peer, reliability) in enumerate(ranking, start=1):
         print(

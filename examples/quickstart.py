@@ -1,20 +1,20 @@
-"""Quickstart: estimate s-t reliability on a small uncertain graph.
+"""Quickstart: estimate s-t reliability through the public facade.
 
 Builds the classic "bridge" network, computes the exact reliability, and
-compares all six estimators of the paper on the same query.
+compares all six estimators of the paper on the same query — every
+request routed through :class:`repro.api.ReliabilityService`, the same
+facade behind the ``repro`` CLI and ``repro serve``.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
     PAPER_ESTIMATORS,
+    EstimateRequest,
+    ReliabilityService,
     UncertainGraph,
-    create_estimator,
     reliability_exact,
 )
-from repro.core.registry import display_name
 
 
 def main() -> None:
@@ -34,18 +34,23 @@ def main() -> None:
     print(f"graph: {graph}")
     print(f"exact reliability R({source}, {target}) = {exact:.6f}\n")
 
+    # One long-lived service owns the graph, the estimators, and the
+    # result caches; every transport (CLI, HTTP, this script) goes
+    # through it.
+    service = ReliabilityService(graph, seed=7)
     samples = 20_000
     print(f"{'estimator':12s} {'estimate':>10s} {'abs error':>10s}")
     for key in PAPER_ESTIMATORS:
-        options = {"stratum_edges": 3} if key == "rss" else {}
-        estimator = create_estimator(key, graph, seed=7, **options)
-        estimate = estimator.estimate(
-            source, target, samples, rng=np.random.default_rng(42)
+        response = service.estimate(
+            EstimateRequest(
+                source=source, target=target, samples=samples, method=key
+            )
         )
         print(
-            f"{display_name(key):12s} {estimate:10.5f} "
-            f"{abs(estimate - exact):10.5f}"
+            f"{response.method_display:12s} {response.estimate:10.5f} "
+            f"{abs(response.estimate - exact):10.5f}"
         )
+    service.close()
 
     print(
         "\nAll six are unbiased estimators of the same #P-hard quantity; "

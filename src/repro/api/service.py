@@ -1,0 +1,701 @@
+"""`ReliabilityService`: the one long-lived facade over the whole library.
+
+The paper frames s-t reliability as a *query workload* problem — sampling
+possible worlds dominates, so shared indexes and batching win (§2.2,
+§3.7).  That framing makes the natural unit of deployment a **service**:
+one process that loads the graph once, builds each estimator index once,
+keeps the result caches hot, and answers queries for as long as it
+lives.  This class is that unit.  Every transport is a thin adapter over
+it — the ``repro`` CLI builds one service per invocation, ``repro
+serve`` keeps one alive behind an HTTP API (:mod:`repro.serve`), and any
+future transport (gRPC, async, sharded workers) lands behind the same
+six methods instead of forking the CLI.
+
+What the service owns
+---------------------
+* the loaded :class:`~repro.core.graph.UncertainGraph` (plus, when built
+  via :meth:`from_dataset`, the suite dataset's provenance);
+* lazily-constructed estimators, one per method, indexes built once and
+  reused across requests (ProbTree's FWD decomposition, BFS Sharing's
+  bit-vector index);
+* the shared result cache — the in-memory LRU, or the persistent SQLite
+  sidecar when ``cache_dir`` is given — threaded through every
+  engine-backed request, so a repeated query is replayed without
+  sampling a single world;
+* request counters for the ``/v1/stats`` endpoint.
+
+Thread safety: all public methods may be called from concurrent threads
+(the HTTP layer does).  A single re-entrant lock serialises estimator
+and engine access; combined with the engine's determinism contract
+(world ``i`` is a pure function of ``(graph, seed, i)``), concurrent
+identical requests return **bit-identical** estimates.
+
+Determinism: with an explicit ``seed`` the service's answers equal the
+CLI's historical output exactly — the CLI *is* this facade now, and the
+conformance tests in ``tests/api`` pin the equivalence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.api.errors import (
+    GraphLoadError,
+    InvalidQueryError,
+    UnknownEstimatorError,
+)
+from repro.api.types import (
+    BatchRequest,
+    BatchResponse,
+    BoundsRequest,
+    BoundsResponse,
+    EngineReport,
+    EstimateRequest,
+    EstimateResponse,
+    QueryResult,
+    QuerySpec,
+    RecommendRequest,
+    RecommendResponse,
+    ResolvedQuery,
+    TopKRequest,
+    TopKResponse,
+    WarmRequest,
+    WarmResponse,
+)
+from repro.core.bounds import reliability_bounds
+from repro.core.estimators.base import Estimator
+from repro.core.graph import UncertainGraph
+from repro.core.recommend import recommend_estimator
+from repro.core.registry import create_estimator as _registry_create
+from repro.core.registry import display_name, estimator_class
+from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine, BatchResult
+from repro.engine.cache import (
+    DEFAULT_CACHE_CAPACITY,
+    ResultCache,
+    open_result_cache,
+)
+from repro.queries.top_k import top_k_reliable_targets
+from repro.util.rng import stable_substream
+
+#: Batch-path tags with an engine or grouped fast path (``workers`` /
+#: ``cache_dir`` are honoured there; the per-query loop ignores both).
+FAST_BATCH_PATHS = ("engine", "bag_grouped")
+
+
+class ReliabilityService:
+    """Answers every public query type over one uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph all requests address.
+    seed:
+        The service's root seed: the default for requests that do not
+        carry their own, and the construction seed of every estimator.
+    cache_dir:
+        When given, results persist to the SQLite sidecar under this
+        directory (see :mod:`repro.engine.cache`); a re-started service
+        warm-starts from disk.  ``None`` keeps an in-memory LRU only.
+    chunk_size / workers:
+        Engine defaults for requests that do not override them.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        seed: int = 0,
+        dataset=None,
+        cache_dir: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        if not isinstance(graph, UncertainGraph):
+            raise GraphLoadError(
+                f"a ReliabilityService wraps an UncertainGraph, "
+                f"got {type(graph).__name__}"
+            )
+        self.graph = graph
+        self.seed = int(seed)
+        self.dataset = dataset  # a suite Dataset, or None for raw graphs
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.chunk_size = (
+            DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
+        )
+        if self.chunk_size <= 0:
+            raise InvalidQueryError(
+                f"chunk_size must be a positive integer, got {chunk_size}"
+            )
+        self.workers = workers
+        self._cache: ResultCache = (
+            open_result_cache(self.cache_dir, capacity=cache_capacity)
+            if self.cache_dir is not None
+            else ResultCache(cache_capacity)
+        )
+        self._estimators: Dict[str, Estimator] = {}
+        self._lock = threading.RLock()
+        self._started = time.time()
+        self._request_counts: Dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: str,
+        scale: str = "small",
+        seed: int = 0,
+        **options,
+    ) -> "ReliabilityService":
+        """Build a service over one suite dataset (Table 2 analogue).
+
+        Deterministic in ``(dataset, scale, seed)``; unknown keys become
+        a structured :class:`GraphLoadError` instead of a bare KeyError.
+        """
+        from repro.datasets.suite import load_dataset
+
+        try:
+            loaded = load_dataset(dataset, scale, seed)
+        except KeyError as error:
+            raise GraphLoadError(error.args[0]) from None
+        return cls(loaded.graph, seed=seed, dataset=loaded, **options)
+
+    @property
+    def dataset_key(self) -> Optional[str]:
+        return None if self.dataset is None else self.dataset.key
+
+    @property
+    def scale(self) -> Optional[str]:
+        return None if self.dataset is None else self.dataset.scale
+
+    @property
+    def persistent(self) -> bool:
+        """Whether results outlive this process (a sidecar is attached)."""
+        return self.cache_dir is not None
+
+    def close(self) -> None:
+        """Release the persistent cache connection (writes are durable)."""
+        with self._lock:
+            self._closed = True
+            close = getattr(self._cache, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ReliabilityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        origin = (
+            f"dataset={self.dataset_key!r}, scale={self.scale!r}"
+            if self.dataset is not None
+            else f"graph={self.graph!r}"
+        )
+        return (
+            f"{type(self).__name__}({origin}, seed={self.seed}, "
+            f"persistent={self.persistent})"
+        )
+
+    # ------------------------------------------------------------------
+    # Estimator plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _estimator_class(method: str) -> Type[Estimator]:
+        try:
+            return estimator_class(method)
+        except KeyError as error:
+            raise UnknownEstimatorError(error.args[0]) from None
+
+    @classmethod
+    def batch_path_of(cls, method: str) -> str:
+        """The fast-path dispatch tag of ``method`` (see ``batch_path``)."""
+        return cls._estimator_class(method).batch_path
+
+    def create_estimator(self, method: str, **options) -> Estimator:
+        """Construct a *fresh* estimator on the service's graph.
+
+        The construction hook the experiment runner uses
+        (:func:`repro.experiments.runner.build_estimator`): studies need
+        per-study estimator instances so their RNG state never leaks
+        between runs, unlike the cached instances serving requests.
+        """
+        self._estimator_class(method)  # raises UnknownEstimatorError
+        options.setdefault("seed", self.seed)
+        return _registry_create(method, self.graph, **options)
+
+    def estimator(self, method: str) -> Estimator:
+        """The service's long-lived estimator for ``method``.
+
+        Built (and :meth:`~Estimator.prepare`-d) on first use under the
+        service lock, then reused: ProbTree's FWD index and BFS
+        Sharing's world index amortise across every later request.
+        """
+        with self._lock:
+            cached = self._estimators.get(method)
+            if cached is None:
+                cached = self.create_estimator(method)
+                cached.prepare()
+                self._estimators[method] = cached
+            return cached
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_node(self, node: int, role: str, context: str = "") -> None:
+        prefix = f"{context}: " if context else ""
+        if not 0 <= int(node) < self.graph.node_count:
+            raise InvalidQueryError(
+                f"{prefix}{role} {node} out of range for a graph with "
+                f"{self.graph.node_count} nodes"
+            )
+
+    @staticmethod
+    def _check_positive(value, name: str, context: str = "") -> None:
+        prefix = f"{context}: " if context else ""
+        if value is not None and int(value) <= 0:
+            raise InvalidQueryError(
+                f"{prefix}{name} must be a positive integer, got {value}"
+            )
+
+    def resolve_queries(
+        self,
+        queries: Tuple[QuerySpec, ...],
+        default_samples: int,
+        default_max_hops: Optional[int] = None,
+    ) -> List[ResolvedQuery]:
+        """Apply workload defaults and validate every entry up front.
+
+        The engine validates too, but deep in the sweep and without
+        workload context; failing here turns "ValueError from
+        plan_queries" into "which query of your request is wrong".
+        """
+        self._check_positive(default_samples, "samples")
+        self._check_positive(default_max_hops, "max_hops")
+        resolved: List[ResolvedQuery] = []
+        for position, spec in enumerate(queries):
+            context = f"query {position}"
+            samples = (
+                default_samples if spec.samples is None else spec.samples
+            )
+            max_hops = (
+                default_max_hops if spec.max_hops is None else spec.max_hops
+            )
+            self._check_node(spec.source, "source", context)
+            self._check_node(spec.target, "target", context)
+            self._check_positive(samples, "samples", context)
+            self._check_positive(max_hops, "max_hops", context)
+            resolved.append(
+                (int(spec.source), int(spec.target), int(samples), max_hops)
+            )
+        return resolved
+
+    def _resolve_seed(self, seed: Optional[int]) -> int:
+        return self.seed if seed is None else int(seed)
+
+    def _count(self, endpoint: str) -> None:
+        with self._lock:
+            self._request_counts[endpoint] = (
+                self._request_counts.get(endpoint, 0) + 1
+            )
+
+    def _engine(
+        self,
+        seed: int,
+        chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> BatchEngine:
+        """An engine over the service's graph sharing the service cache.
+
+        Engines are cheap (the graph fingerprint is memoised); the
+        expensive state — sampled results — lives in the shared cache,
+        which is what a long-lived service actually amortises.
+        """
+        return BatchEngine(
+            self.graph,
+            seed=seed,
+            chunk_size=self.chunk_size if chunk_size is None else chunk_size,
+            workers=self.workers if workers is None else workers,
+            cache=self._cache,
+        )
+
+    def _cache_report(self) -> Optional[Dict[str, int]]:
+        return self._cache.statistics() if self.persistent else None
+
+    # ------------------------------------------------------------------
+    # estimate / estimate_batch
+    # ------------------------------------------------------------------
+
+    def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """One s-t reliability estimate through one named estimator.
+
+        The query substream is keyed by ``(seed, source, target)`` —
+        exactly the CLI's historical protocol — so the same request
+        against the same service always replays the same number.
+
+        Index-backed estimators draw their index from the construction
+        seed, not the query substream; when a request carries its own
+        seed, serving it from the long-lived (service-seeded) index
+        would ignore that seed while reporting it as provenance.  Such
+        requests therefore get a fresh estimator seeded by the request
+        (index rebuild included) — the answer really is a function of
+        the reported seed.
+        """
+        cls = self._estimator_class(request.method)
+        self._check_node(request.source, "source")
+        self._check_node(request.target, "target")
+        self._check_positive(request.samples, "samples")
+        seed = self._resolve_seed(request.seed)
+        with self._lock:
+            if cls.uses_index and seed != self.seed:
+                estimator = self.create_estimator(request.method, seed=seed)
+            else:
+                estimator = self.estimator(request.method)
+            value = estimator.estimate(
+                request.source,
+                request.target,
+                request.samples,
+                rng=stable_substream(seed, request.source, request.target),
+            )
+        self._count("estimate")
+        return EstimateResponse(
+            source=request.source,
+            target=request.target,
+            samples=request.samples,
+            method=request.method,
+            method_display=cls.display_name,
+            seed=seed,
+            estimate=float(value),
+            dataset=self.dataset_key,
+            scale=self.scale,
+        )
+
+    def _validate_batch(
+        self, request: BatchRequest, batch_path: str
+    ) -> None:
+        """Semantic guards shared by every transport (API-phrased)."""
+        engine_backed = batch_path == "engine"
+        has_fast_path = batch_path in FAST_BATCH_PATHS
+        self._check_positive(request.workers, "workers")
+        self._check_positive(request.chunk_size, "chunk_size")
+        if request.sequential and request.method != "mc":
+            raise InvalidQueryError(
+                "sequential evaluation is the per-query engine oracle; "
+                "it applies only to method 'mc'"
+            )
+        if request.chunk_size is not None and not engine_backed:
+            raise InvalidQueryError(
+                "chunk_size applies only to the engine-backed methods "
+                "('mc', 'bfs_sharing'); other methods do not stream "
+                "world chunks"
+            )
+        if request.workers is not None and not has_fast_path:
+            raise InvalidQueryError(
+                "workers rides on a batch fast path (method 'mc', "
+                "'bfs_sharing', or 'prob_tree'); "
+                f"method {request.method!r} uses the per-query loop"
+            )
+        if request.sequential and self.persistent:
+            raise InvalidQueryError(
+                "the sequential oracle bypasses the result cache by "
+                "design; this service persists results — submit the "
+                "shared-world sweep instead"
+            )
+        if request.sequential and (request.workers or 1) > 1:
+            raise InvalidQueryError(
+                "the sequential oracle re-materialises worlds per query "
+                "in-process; workers applies only to the shared-world "
+                "sweep"
+            )
+
+    def estimate_batch(self, request: BatchRequest) -> BatchResponse:
+        """Answer a workload, dispatched by the method's batch path.
+
+        ``mc``/``bfs_sharing`` run on the shared-world engine (one world
+        stream for the whole workload, served through the service's
+        result cache); ``prob_tree`` groups by (s, t) bag pair on its
+        long-lived index; everything else loops per query.  Estimates
+        are deterministic in ``(graph, method, seed, query)`` — the
+        transport cannot influence a single bit.
+        """
+        batch_path = self.batch_path_of(request.method)
+        self._validate_batch(request, batch_path)
+        queries = self.resolve_queries(
+            request.queries, request.samples, request.max_hops
+        )
+        engine_backed = batch_path == "engine"
+        if not engine_backed and any(
+            max_hops is not None for *_, max_hops in queries
+        ):
+            raise InvalidQueryError(
+                "hop-bounded (max_hops) queries need the shared-world "
+                "engine; use method 'mc' or 'bfs_sharing'"
+            )
+        seed = self._resolve_seed(request.seed)
+        with self._lock:
+            if engine_backed:
+                chunk_size = (
+                    self.chunk_size
+                    if request.chunk_size is None
+                    else request.chunk_size
+                )
+                engine = self._engine(seed, chunk_size, request.workers)
+                result = (
+                    engine.run_sequential(queries)
+                    if request.sequential
+                    else engine.run(queries)
+                )
+                mode = "sequential" if request.sequential else "shared_worlds"
+                report = self._engine_report(mode, result, chunk_size)
+                rows = self._rows_from_result(result)
+            else:
+                estimator = self.estimator(request.method)
+                if batch_path == "bag_grouped":
+                    estimates = estimator.estimate_batch(
+                        queries,
+                        seed=seed,
+                        workers=request.workers,
+                        cache_dir=self.cache_dir,
+                    )
+                    mode = "bag_grouped"
+                else:
+                    estimates = estimator.estimate_batch(queries, seed=seed)
+                    mode = "per_query_loop"
+                inner = estimator.last_batch_result
+                report = (
+                    EngineReport(mode=mode)
+                    if inner is None
+                    else self._engine_report(mode, inner, None)
+                )
+                rows = tuple(
+                    QueryResult(
+                        source=source,
+                        target=target,
+                        samples=samples,
+                        max_hops=max_hops,
+                        estimate=float(estimate),
+                    )
+                    for (source, target, samples, max_hops), estimate in zip(
+                        queries, estimates
+                    )
+                )
+        self._count("batch")
+        return BatchResponse(
+            method=request.method,
+            seed=seed,
+            engine=report,
+            results=rows,
+            dataset=self.dataset_key,
+            scale=self.scale,
+        )
+
+    def _engine_report(
+        self, mode: str, result: BatchResult, chunk_size: Optional[int]
+    ) -> EngineReport:
+        return EngineReport(
+            mode=mode,
+            workers=result.workers,
+            worlds_sampled=result.worlds_sampled,
+            sweeps=result.sweeps,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            seconds=round(result.seconds, 6),
+            chunk_size=chunk_size,
+            cache=self._cache_report(),
+        )
+
+    @staticmethod
+    def _rows_from_result(result: BatchResult) -> Tuple[QueryResult, ...]:
+        cached = result.from_cache
+        return tuple(
+            QueryResult(
+                source=query.source,
+                target=query.target,
+                samples=query.samples,
+                max_hops=query.max_hops,
+                estimate=float(estimate),
+                cached=None if cached is None else bool(cached[position]),
+            )
+            for position, (query, estimate) in enumerate(
+                zip(result.queries, result.estimates)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # warm
+    # ------------------------------------------------------------------
+
+    def warm(self, request: WarmRequest) -> WarmResponse:
+        """Evaluate popular (s, t) pairs into the result cache.
+
+        Method-agnostic by design: the cache key carries no estimator,
+        so one warm pass serves every engine-backed method afterwards.
+        ``already_warm`` vs ``newly_written`` counts unique queries —
+        the speculative-precomputation report of the ROADMAP's
+        cache-warming item.
+        """
+        self._check_positive(request.workers, "workers")
+        self._check_positive(request.chunk_size, "chunk_size")
+        queries = self.resolve_queries(
+            request.queries, request.samples, request.max_hops
+        )
+        seed = self._resolve_seed(request.seed)
+        with self._lock:
+            engine = self._engine(seed, request.chunk_size, request.workers)
+            result = engine.run(queries)
+        self._count("warm")
+        return WarmResponse(
+            query_count=len(queries),
+            unique_queries=result.cache_hits + result.cache_misses,
+            already_warm=result.cache_hits,
+            newly_written=result.cache_misses,
+            worlds_sampled=result.worlds_sampled,
+            seconds=round(result.seconds, 6),
+            seed=seed,
+            persistent=self.persistent,
+            cache=self._cache_report(),
+        )
+
+    # ------------------------------------------------------------------
+    # topk / bounds / recommend
+    # ------------------------------------------------------------------
+
+    def topk(self, request: TopKRequest) -> TopKResponse:
+        """Top-k most reliable targets from one source (paper §2.3)."""
+        if request.method not in ("bfs_sharing", "mc"):
+            raise UnknownEstimatorError(
+                f"unknown top-k method {request.method!r}; "
+                f"use 'bfs_sharing' or 'mc'"
+            )
+        self._check_node(request.source, "source")
+        self._check_positive(request.k, "k")
+        self._check_positive(request.samples, "samples")
+        seed = self._resolve_seed(request.seed)
+        with self._lock:
+            ranking = top_k_reliable_targets(
+                self.graph,
+                request.source,
+                request.k,
+                samples=request.samples,
+                method=request.method,
+                rng=seed,
+            )
+        self._count("topk")
+        return TopKResponse(
+            source=request.source,
+            k=request.k,
+            samples=request.samples,
+            method=request.method,
+            seed=seed,
+            ranking=tuple(ranking),
+        )
+
+    def bounds(self, request: BoundsRequest) -> BoundsResponse:
+        """Polynomial-time lower/upper bracket for one (source, target)."""
+        self._check_node(request.source, "source")
+        self._check_node(request.target, "target")
+        with self._lock:
+            lower, upper = reliability_bounds(
+                self.graph, request.source, request.target
+            )
+        self._count("bounds")
+        return BoundsResponse(
+            source=request.source,
+            target=request.target,
+            lower=float(lower),
+            upper=float(upper),
+        )
+
+    @classmethod
+    def recommend(cls, request: RecommendRequest) -> RecommendResponse:
+        """Walk the paper's Fig. 18 decision tree.
+
+        Graph-independent, hence a classmethod: callers (the ``repro
+        recommend`` command among them) get a recommendation without
+        loading any dataset.
+        """
+        recommendation = recommend_estimator(
+            memory_limited=request.memory_limited,
+            want_lowest_variance=request.lowest_variance,
+            want_fastest=not request.latency_tolerant,
+        )
+        return RecommendResponse(
+            path=tuple(recommendation.path),
+            estimators=tuple(recommendation.estimators),
+            display_names=tuple(
+                display_name(key) for key in recommendation.estimators
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # study (the experiment harness behind the same facade)
+    # ------------------------------------------------------------------
+
+    def study(self, config):
+        """Run a convergence study (Tables 3-14 shaped) on this service.
+
+        The runner builds its estimators through
+        :meth:`create_estimator`, so studies and request serving share
+        one construction path.  The config must address this service's
+        dataset — a service wraps exactly one graph.
+        """
+        if self.dataset is None:
+            raise GraphLoadError(
+                "this service wraps a raw graph; studies address a suite "
+                "dataset — build the service with from_dataset()"
+            )
+        identity = (config.dataset, config.scale, config.seed)
+        expected = (self.dataset_key, self.scale, self.seed)
+        if identity != expected:
+            raise InvalidQueryError(
+                f"study config addresses {identity}, this service serves "
+                f"{expected}"
+            )
+        from repro.experiments.runner import run_study
+
+        result = run_study(config, service=self)
+        self._count("study")
+        return result
+
+    # ------------------------------------------------------------------
+    # health / stats
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Cheap liveness payload for the ``/v1/health`` endpoint."""
+        return {
+            "status": "closed" if self._closed else "ok",
+            "dataset": self.dataset_key,
+            "scale": self.scale,
+            "seed": self.seed,
+            "nodes": int(self.graph.node_count),
+            "edges": int(self.graph.edge_count),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Service-lifetime counters for the ``/v1/stats`` endpoint."""
+        with self._lock:
+            return {
+                "dataset": self.dataset_key,
+                "scale": self.scale,
+                "seed": self.seed,
+                "nodes": int(self.graph.node_count),
+                "edges": int(self.graph.edge_count),
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "persistent": self.persistent,
+                "requests": dict(self._request_counts),
+                "estimators_loaded": sorted(self._estimators),
+                "cache": self._cache.statistics(),
+            }
+
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "FAST_BATCH_PATHS", "ReliabilityService"]

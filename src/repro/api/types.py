@@ -1,0 +1,634 @@
+"""Typed request/response objects of the public API.
+
+These dataclasses are the *wire format* of the facade: every transport —
+the ``repro`` CLI, the :mod:`repro.serve` HTTP server, a future gRPC or
+async layer — builds a request object, hands it to
+:class:`~repro.api.service.ReliabilityService`, and serialises the
+response with ``to_dict()``.  The JSON produced by ``to_dict`` is the
+compatibility contract: ``repro batch`` has printed this exact shape
+since the batch engine landed, and the HTTP endpoints return the same
+documents, so a client cannot tell (nor needs to know) which transport
+answered it.
+
+Parsing is strict: ``from_dict`` rejects unknown keys and wrong types
+with :class:`~repro.api.errors.InvalidQueryError`, so a malformed HTTP
+body becomes a structured 400 instead of a deep ``TypeError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.errors import InvalidQueryError
+
+#: A fully resolved workload entry: ``(source, target, samples, max_hops)``.
+ResolvedQuery = Tuple[int, int, int, Optional[int]]
+
+
+def _require_int(value: Any, name: str) -> int:
+    """Coerce a JSON scalar to int, rejecting floats/strings/None."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidQueryError(
+            f"{name} must be an integer, got {value!r}"
+        )
+    return int(value)
+
+
+def _optional_int(value: Any, name: str) -> Optional[int]:
+    return None if value is None else _require_int(value, name)
+
+
+def _require_mapping(payload: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise InvalidQueryError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown_keys(
+    payload: Mapping[str, Any], known: Sequence[str], what: str
+) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise InvalidQueryError(
+            f"{what} does not accept key(s) {', '.join(map(repr, unknown))}; "
+            f"known keys: {', '.join(known)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One s-t query as submitted by a client.
+
+    ``samples``/``max_hops`` left as ``None`` inherit the request-level
+    defaults when the service resolves the workload (mirroring how the
+    query-file format lets entries omit their budget).
+    """
+
+    source: int
+    target: int
+    samples: Optional[int] = None
+    max_hops: Optional[int] = None
+
+    @classmethod
+    def coerce(cls, entry: Any, position: int) -> "QuerySpec":
+        """Coerce one workload entry: a [s, t(, K(, d))] list or an object.
+
+        This is the single shared reader behind the ``--queries`` file
+        format and the HTTP ``queries`` array, so both transports accept
+        (and reject) exactly the same entries, with the same
+        ``entry {position}`` context in errors.
+        """
+        context = f"entry {position}"
+        if isinstance(entry, Mapping):
+            _reject_unknown_keys(
+                entry, ("source", "target", "samples", "max_hops"), context
+            )
+            if "source" not in entry or "target" not in entry:
+                raise InvalidQueryError(
+                    f"{context}: query objects need 'source' and 'target' "
+                    f"keys, got {dict(entry)!r}"
+                )
+            return cls(
+                source=_require_int(entry["source"], f"{context}: source"),
+                target=_require_int(entry["target"], f"{context}: target"),
+                samples=_optional_int(
+                    entry.get("samples"), f"{context}: samples"
+                ),
+                max_hops=_optional_int(
+                    entry.get("max_hops"), f"{context}: max_hops"
+                ),
+            )
+        if isinstance(entry, (list, tuple)):
+            parts = list(entry)
+            if len(parts) not in (2, 3, 4):
+                raise InvalidQueryError(
+                    f"{context}: expected [source, target(, samples"
+                    f"(, max_hops))] or a query object, got {entry!r}"
+                )
+            try:
+                head = [int(part) for part in parts[:3]]
+                # A trailing null mirrors the object form's
+                # "max_hops": null — an explicit "no bound".
+                tail = parts[3] if len(parts) == 4 else None
+                max_hops = None if tail is None else int(tail)
+            except (TypeError, ValueError):
+                raise InvalidQueryError(
+                    f"{context}: non-numeric value in {entry!r}"
+                ) from None
+            return cls(
+                source=head[0],
+                target=head[1],
+                samples=head[2] if len(head) >= 3 else None,
+                max_hops=max_hops,
+            )
+        raise InvalidQueryError(
+            f"{context}: expected [source, target(, samples(, max_hops))] "
+            f"or a query object, got {entry!r}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "samples": self.samples,
+            "max_hops": self.max_hops,
+        }
+
+
+def coerce_query_specs(entries: Any, what: str = "queries") -> Tuple[QuerySpec, ...]:
+    """Coerce a JSON array (or a single object) into query specs."""
+    if isinstance(entries, Mapping):
+        entries = [entries]  # a single unwrapped query object
+    if not isinstance(entries, (list, tuple)):
+        raise InvalidQueryError(
+            f"{what} must be a list of [source, target(, samples"
+            f"(, max_hops))] entries or query objects"
+        )
+    return tuple(
+        QuerySpec.coerce(entry, position)
+        for position, entry in enumerate(entries)
+    )
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One s-t reliability estimate through one named estimator."""
+
+    source: int
+    target: int
+    samples: int = 1_000
+    method: str = "mc"
+    seed: Optional[int] = None  # None = the service's seed
+
+    _KEYS = ("source", "target", "samples", "method", "seed")
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "EstimateRequest":
+        payload = _require_mapping(payload, "an estimate request")
+        _reject_unknown_keys(payload, cls._KEYS, "an estimate request")
+        if "source" not in payload or "target" not in payload:
+            raise InvalidQueryError(
+                "an estimate request needs 'source' and 'target'"
+            )
+        method = payload.get("method", "mc")
+        if not isinstance(method, str):
+            raise InvalidQueryError(
+                f"method must be a string, got {method!r}"
+            )
+        return cls(
+            source=_require_int(payload["source"], "source"),
+            target=_require_int(payload["target"], "target"),
+            samples=_require_int(payload.get("samples", 1_000), "samples"),
+            method=method,
+            seed=_optional_int(payload.get("seed"), "seed"),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "samples": self.samples,
+            "method": self.method,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A workload of s-t queries, answered in one engine pass.
+
+    ``samples``/``max_hops`` are the workload-level defaults applied to
+    entries that do not carry their own; ``seed=None`` inherits the
+    service's seed so a request replayed against the same service is
+    exactly cacheable.
+    """
+
+    queries: Tuple[QuerySpec, ...]
+    method: str = "mc"
+    samples: int = 1_000
+    seed: Optional[int] = None
+    max_hops: Optional[int] = None
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = None
+    sequential: bool = False
+
+    _KEYS = (
+        "queries", "method", "samples", "seed", "max_hops",
+        "chunk_size", "workers", "sequential",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "BatchRequest":
+        payload = _require_mapping(payload, "a batch request")
+        _reject_unknown_keys(payload, cls._KEYS, "a batch request")
+        if "queries" not in payload:
+            raise InvalidQueryError("a batch request needs 'queries'")
+        method = payload.get("method", "mc")
+        if not isinstance(method, str):
+            raise InvalidQueryError(
+                f"method must be a string, got {method!r}"
+            )
+        sequential = payload.get("sequential", False)
+        if not isinstance(sequential, bool):
+            raise InvalidQueryError(
+                f"sequential must be a boolean, got {sequential!r}"
+            )
+        return cls(
+            queries=coerce_query_specs(payload["queries"]),
+            method=method,
+            samples=_require_int(payload.get("samples", 1_000), "samples"),
+            seed=_optional_int(payload.get("seed"), "seed"),
+            max_hops=_optional_int(payload.get("max_hops"), "max_hops"),
+            chunk_size=_optional_int(payload.get("chunk_size"), "chunk_size"),
+            workers=_optional_int(payload.get("workers"), "workers"),
+            sequential=sequential,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": [query.to_dict() for query in self.queries],
+            "method": self.method,
+            "samples": self.samples,
+            "seed": self.seed,
+            "max_hops": self.max_hops,
+            "chunk_size": self.chunk_size,
+            "workers": self.workers,
+            "sequential": self.sequential,
+        }
+
+
+@dataclass(frozen=True)
+class WarmRequest:
+    """Speculatively evaluate popular (s, t) pairs into the result cache.
+
+    Warming is method-agnostic on purpose: the engine's cache key is
+    ``(graph fingerprint, s, t, K, seed, max_hops)`` — no estimator in
+    it — so one warm pass serves every engine-backed method afterwards.
+    """
+
+    queries: Tuple[QuerySpec, ...]
+    samples: int = 1_000
+    seed: Optional[int] = None
+    max_hops: Optional[int] = None
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = None
+
+    _KEYS = (
+        "queries", "samples", "seed", "max_hops", "chunk_size", "workers",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "WarmRequest":
+        payload = _require_mapping(payload, "a warm request")
+        _reject_unknown_keys(payload, cls._KEYS, "a warm request")
+        if "queries" not in payload:
+            raise InvalidQueryError("a warm request needs 'queries'")
+        return cls(
+            queries=coerce_query_specs(payload["queries"]),
+            samples=_require_int(payload.get("samples", 1_000), "samples"),
+            seed=_optional_int(payload.get("seed"), "seed"),
+            max_hops=_optional_int(payload.get("max_hops"), "max_hops"),
+            chunk_size=_optional_int(payload.get("chunk_size"), "chunk_size"),
+            workers=_optional_int(payload.get("workers"), "workers"),
+        )
+
+
+@dataclass(frozen=True)
+class TopKRequest:
+    """Top-k most reliable targets from one source (paper §2.3 origin)."""
+
+    source: int
+    k: int = 10
+    samples: int = 500
+    method: str = "bfs_sharing"
+    seed: Optional[int] = None
+
+    _KEYS = ("source", "k", "samples", "method", "seed")
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "TopKRequest":
+        payload = _require_mapping(payload, "a topk request")
+        _reject_unknown_keys(payload, cls._KEYS, "a topk request")
+        if "source" not in payload:
+            raise InvalidQueryError("a topk request needs 'source'")
+        method = payload.get("method", "bfs_sharing")
+        if not isinstance(method, str):
+            raise InvalidQueryError(
+                f"method must be a string, got {method!r}"
+            )
+        return cls(
+            source=_require_int(payload["source"], "source"),
+            k=_require_int(payload.get("k", 10), "k"),
+            samples=_require_int(payload.get("samples", 500), "samples"),
+            method=method,
+            seed=_optional_int(payload.get("seed"), "seed"),
+        )
+
+
+@dataclass(frozen=True)
+class BoundsRequest:
+    """Polynomial-time lower/upper reliability bracket for one pair."""
+
+    source: int
+    target: int
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "BoundsRequest":
+        payload = _require_mapping(payload, "a bounds request")
+        _reject_unknown_keys(payload, ("source", "target"), "a bounds request")
+        if "source" not in payload or "target" not in payload:
+            raise InvalidQueryError(
+                "a bounds request needs 'source' and 'target'"
+            )
+        return cls(
+            source=_require_int(payload["source"], "source"),
+            target=_require_int(payload["target"], "target"),
+        )
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """Inputs to the paper's Fig. 18 estimator decision tree."""
+
+    memory_limited: bool = False
+    lowest_variance: bool = False
+    latency_tolerant: bool = False
+
+    _KEYS = ("memory_limited", "lowest_variance", "latency_tolerant")
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "RecommendRequest":
+        payload = _require_mapping(payload, "a recommend request")
+        _reject_unknown_keys(payload, cls._KEYS, "a recommend request")
+        values = {}
+        for key in cls._KEYS:
+            value = payload.get(key, False)
+            if not isinstance(value, bool):
+                raise InvalidQueryError(
+                    f"{key} must be a boolean, got {value!r}"
+                )
+            values[key] = value
+        return cls(**values)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Per-query stats of one answered workload entry.
+
+    ``cached`` is the per-query cache provenance: ``True`` when the
+    estimate was replayed from the result cache (memory or sidecar)
+    without sampling, ``False`` when it was evaluated in this pass, and
+    ``None`` on paths with no exact cache key (the per-query loop).
+    """
+
+    source: int
+    target: int
+    samples: int
+    max_hops: Optional[int]
+    estimate: float
+    cached: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "source": self.source,
+            "target": self.target,
+            "samples": self.samples,
+            "max_hops": self.max_hops,
+            "estimate": self.estimate,
+        }
+        if self.cached is not None:
+            row["cached"] = self.cached
+        return row
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """How a workload was served: dispatch mode plus engine counters.
+
+    ``mode`` is always present; the counters appear when the shared-world
+    engine (or an estimator fast path exposing its
+    :class:`~repro.engine.batch.BatchResult`) answered the workload, and
+    ``cache`` carries the result-cache statistics — including the
+    ``persistent`` flag and ``disk_hits``, the cache-provenance summary —
+    when the service owns a persistent sidecar.
+    """
+
+    mode: str
+    workers: Optional[int] = None
+    worlds_sampled: Optional[int] = None
+    sweeps: Optional[int] = None
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    seconds: Optional[float] = None
+    chunk_size: Optional[int] = None
+    cache: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        report: Dict[str, Any] = {"mode": self.mode}
+        for key in (
+            "workers", "worlds_sampled", "sweeps", "cache_hits",
+            "cache_misses", "seconds", "chunk_size", "cache",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                report[key] = value
+        return report
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """One answered estimate, with its full provenance."""
+
+    source: int
+    target: int
+    samples: int
+    method: str
+    method_display: str
+    seed: int
+    estimate: float
+    dataset: Optional[str] = None
+    scale: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "method": self.method,
+            "method_display": self.method_display,
+            "seed": self.seed,
+            "source": self.source,
+            "target": self.target,
+            "samples": self.samples,
+            "estimate": self.estimate,
+        }
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """An answered workload: per-query stats plus the engine report.
+
+    ``to_dict()`` keeps the document shape ``repro batch`` has always
+    printed (dataset, scale, method, seed, query_count, engine,
+    results) with one *additive* change: engine-served rows now carry a
+    ``cached`` provenance flag.  Scripts that parsed the CLI keep
+    working against the HTTP endpoint unchanged — existing keys mean
+    exactly what they did.
+    """
+
+    method: str
+    seed: int
+    engine: EngineReport
+    results: Tuple[QueryResult, ...]
+    dataset: Optional[str] = None
+    scale: Optional[str] = None
+
+    @property
+    def estimates(self) -> List[float]:
+        return [result.estimate for result in self.results]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "method": self.method,
+            "seed": self.seed,
+            "query_count": len(self.results),
+            "engine": self.engine.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+@dataclass(frozen=True)
+class WarmResponse:
+    """Outcome of one cache-warming pass.
+
+    ``already_warm`` counts unique queries served from the cache without
+    sampling; ``newly_written`` counts the ones evaluated (and written)
+    by this pass.  Their sum is ``unique_queries`` — duplicates in the
+    submitted workload collapse before warming.
+    """
+
+    query_count: int
+    unique_queries: int
+    already_warm: int
+    newly_written: int
+    worlds_sampled: int
+    seconds: float
+    seed: int
+    persistent: bool
+    cache: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "query_count": self.query_count,
+            "unique_queries": self.unique_queries,
+            "already_warm": self.already_warm,
+            "newly_written": self.newly_written,
+            "worlds_sampled": self.worlds_sampled,
+            "seconds": self.seconds,
+            "seed": self.seed,
+            "persistent": self.persistent,
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache
+        return payload
+
+
+@dataclass(frozen=True)
+class TopKResponse:
+    """Ranked (node, reliability) rows for one top-k query."""
+
+    source: int
+    k: int
+    samples: int
+    method: str
+    seed: int
+    ranking: Tuple[Tuple[int, float], ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "k": self.k,
+            "samples": self.samples,
+            "method": self.method,
+            "seed": self.seed,
+            "ranking": [
+                {"rank": rank, "node": node, "reliability": reliability}
+                for rank, (node, reliability) in enumerate(
+                    self.ranking, start=1
+                )
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class BoundsResponse:
+    """Polynomial-time reliability bracket for one (source, target)."""
+
+    source: int
+    target: int
+    lower: float
+    upper: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "lower": self.lower,
+            "upper": self.upper,
+        }
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """Outcome of the Fig. 18 decision tree walk."""
+
+    path: Tuple[str, ...]
+    estimators: Tuple[str, ...]
+    display_names: Tuple[str, ...] = field(default=())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": list(self.path),
+            "estimators": list(self.estimators),
+            "display_names": list(self.display_names),
+        }
+
+
+__all__ = [
+    "ResolvedQuery",
+    "QuerySpec",
+    "coerce_query_specs",
+    "EstimateRequest",
+    "BatchRequest",
+    "WarmRequest",
+    "TopKRequest",
+    "BoundsRequest",
+    "RecommendRequest",
+    "QueryResult",
+    "EngineReport",
+    "EstimateResponse",
+    "BatchResponse",
+    "WarmResponse",
+    "TopKResponse",
+    "BoundsResponse",
+    "RecommendResponse",
+]

@@ -1,9 +1,19 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Subcommands mirror the library's main entry points:
+Every command is a thin adapter over the one public facade,
+:class:`repro.api.ReliabilityService`: parse arguments, build a typed
+request, hand it to the service, print the response.  No command
+constructs an estimator, an engine, or a cache itself — that invariant
+is pinned by ``tests/api/test_cli_facade.py`` — so the CLI, the HTTP
+server (``repro serve``), and library callers always produce identical
+answers for identical inputs.
+
+Subcommands:
 
 * ``estimate``   — one s-t reliability query on a suite dataset
 * ``batch``      — a whole query workload through the batch engine
+* ``warm``       — pre-evaluate popular pairs into the persistent cache
+* ``serve``      — a long-lived HTTP JSON API over one service
 * ``datasets``   — the Table 2 dataset summary
 * ``topk``       — top-k most reliable targets from a source
 * ``bounds``     — polynomial-time lower/upper bracket for a pair
@@ -19,23 +29,28 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.core.bounds import reliability_bounds
-from repro.core.recommend import recommend_estimator
-from repro.core.registry import (
-    PAPER_ESTIMATORS,
-    create_estimator,
-    display_name,
-    estimator_class,
+from repro.api import (
+    BatchRequest,
+    BoundsRequest,
+    EstimateRequest,
+    InvalidQueryError,
+    QuerySpec,
+    RecommendRequest,
+    ReliabilityError,
+    ReliabilityService,
+    TopKRequest,
+    WarmRequest,
+    coerce_query_specs,
 )
-from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table, load_dataset
-from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine
+from repro.api.service import DEFAULT_CHUNK_SIZE, FAST_BATCH_PATHS
+from repro.core.registry import PAPER_ESTIMATORS
+from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table
 from repro.experiments.convergence import ConvergenceCriterion
 from repro.experiments.report import format_dict_rows, format_table
-from repro.experiments.runner import StudyConfig, run_study
-from repro.queries.top_k import top_k_reliable_targets
-from repro.util.rng import stable_substream
+from repro.experiments.runner import StudyConfig
+from repro.serve import DEFAULT_HOST, DEFAULT_PORT, serve
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +63,38 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         help="dataset scale (default: tiny)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser, default_samples: int
+) -> None:
+    parser.add_argument(
+        "--queries", required=True,
+        help="query file: one 's t [K [d]]' per line, or a JSON list of "
+             "[source, target(, samples(, max_hops))] entries / objects "
+             "(object keys: source, target, samples, max_hops)",
+    )
+    parser.add_argument(
+        "--samples", "-K", type=int, default=default_samples,
+        help=f"default K for queries that do not carry one "
+             f"(default: {default_samples})",
+    )
+    parser.add_argument(
+        "--max-hops", type=int, default=None,
+        help="d-hop reliability (§2.9): bound every query that does not "
+             "carry its own max_hops to this many edges",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help=f"worlds materialised per streaming step "
+             f"(default: {DEFAULT_CHUNK_SIZE})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the engine's chunk sweep (default: "
+             "$REPRO_ENGINE_WORKERS or 1); results are bit-identical to "
+             "the serial sweep",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,16 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "batch", help="answer a query-file workload via the batch engine"
     )
     _add_dataset_arguments(batch)
-    batch.add_argument(
-        "--queries", required=True,
-        help="query file: one 's t [K [d]]' per line, or a JSON list of "
-             "[source, target(, samples(, max_hops))] entries / objects "
-             "(object keys: source, target, samples, max_hops)",
-    )
-    batch.add_argument(
-        "--samples", "-K", type=int, default=1_000,
-        help="default K for queries that do not carry one (default: 1000)",
-    )
+    _add_workload_arguments(batch, default_samples=1_000)
     batch.add_argument(
         "--method", choices=PAPER_ESTIMATORS, default="mc",
         help="estimator; 'mc' and 'bfs_sharing' use the shared-world "
@@ -88,26 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: mc)",
     )
     batch.add_argument(
-        "--chunk-size", type=int, default=None,
-        help=f"worlds materialised per streaming step "
-             f"(default: {DEFAULT_CHUNK_SIZE})",
-    )
-    batch.add_argument(
         "--cache-dir", default=None,
         help="directory holding the persistent result cache; a re-run of "
              "the same workload (same graph, seed, K) is served from the "
              "sidecar with zero world evaluations, even across processes",
-    )
-    batch.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes for the engine's chunk sweep (default: "
-             "$REPRO_ENGINE_WORKERS or 1); results are bit-identical to "
-             "the serial sweep",
-    )
-    batch.add_argument(
-        "--max-hops", type=int, default=None,
-        help="d-hop reliability (§2.9): bound every query that does not "
-             "carry its own max_hops to this many edges",
     )
     batch.add_argument(
         "--sequential", action="store_true",
@@ -116,6 +138,52 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--output", default="-",
         help="write the JSON report here instead of stdout",
+    )
+
+    warm = commands.add_parser(
+        "warm",
+        help="pre-evaluate popular (s, t) pairs into the persistent cache",
+    )
+    _add_dataset_arguments(warm)
+    _add_workload_arguments(warm, default_samples=1_000)
+    warm.add_argument(
+        "--cache-dir", required=True,
+        help="directory of the persistent sidecar the warmed results are "
+             "written to (required: warming exists to outlive the process)",
+    )
+    warm.add_argument(
+        "--output", default="-",
+        help="write the JSON warm report here instead of stdout",
+    )
+
+    serve_cmd = commands.add_parser(
+        "serve", help="long-lived HTTP JSON API over one service"
+    )
+    _add_dataset_arguments(serve_cmd)
+    serve_cmd.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"bind address (default: {DEFAULT_HOST})",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port, 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory; a restarted server "
+             "warm-starts from the sidecar",
+    )
+    serve_cmd.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="engine chunk size for served workloads",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="default worker processes for served workloads",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per handled HTTP request",
     )
 
     datasets = commands.add_parser("datasets", help="Table 2 dataset summary")
@@ -183,190 +251,131 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-#: A parsed workload entry: (source, target, samples, max_hops-or-None).
-BatchQueryTuple = Tuple[int, int, int, Optional[int]]
+# ----------------------------------------------------------------------
+# Shared adapter plumbing
+# ----------------------------------------------------------------------
 
 
-def _parse_query_file(
-    path: str, default_samples: int
-) -> List[BatchQueryTuple]:
+def _open_service(args: argparse.Namespace, **options) -> ReliabilityService:
+    """The one place a command obtains its facade."""
+    try:
+        return ReliabilityService.from_dataset(
+            args.dataset, args.scale, args.seed, **options
+        )
+    except ReliabilityError as error:
+        raise SystemExit(f"repro {args.command}: {error}") from None
+
+
+def _parse_query_file(path: str) -> Tuple[QuerySpec, ...]:
     """Read a workload file: JSON entries/objects, or 's t [K [d]]' lines.
 
-    The optional trailing ``d`` / ``max_hops`` is the §2.9 hop bound;
-    entries without one get ``None`` (resolved against ``--max-hops`` by
-    the batch command).
+    JSON bodies go through the same :func:`repro.api.coerce_query_specs`
+    reader the HTTP endpoints use, so the file format and the wire
+    format accept exactly the same entries.  Entries without a budget or
+    hop bound inherit the request-level ``--samples`` / ``--max-hops``
+    defaults when the service resolves the workload.
     """
     text = Path(path).read_text(encoding="utf-8")
     stripped = text.lstrip()
-    queries: List[BatchQueryTuple] = []
     if stripped.startswith(("[", "{")):
-        loaded = json.loads(stripped)
-        if isinstance(loaded, dict):
-            loaded = [loaded]  # a single unwrapped query object
-        for position, entry in enumerate(loaded):
-            if not isinstance(entry, (list, tuple, dict)):
-                raise ValueError(
-                    f"{path}: entry {position}: expected "
-                    f"[source, target(, samples(, max_hops))] or a query "
-                    f"object, got {entry!r}"
-                )
-            if isinstance(entry, dict):
-                if "source" not in entry or "target" not in entry:
-                    raise ValueError(
-                        f"{path}: entry {position}: query objects need "
-                        f"'source' and 'target' keys, got {entry!r}"
-                    )
-                max_hops = entry.get("max_hops")
-                queries.append(
-                    (
-                        int(entry["source"]),
-                        int(entry["target"]),
-                        int(entry.get("samples", default_samples)),
-                        None if max_hops is None else int(max_hops),
-                    )
-                )
-            else:
-                parts = list(entry)
-                if len(parts) not in (2, 3, 4):
-                    raise ValueError(
-                        f"{path}: entry {position}: expected "
-                        f"[source, target(, samples(, max_hops))], "
-                        f"got {entry!r}"
-                    )
-                try:
-                    head = [int(part) for part in parts[:3]]
-                    # A trailing null mirrors the object form's
-                    # "max_hops": null — an explicit "no bound".
-                    tail = parts[3] if len(parts) == 4 else None
-                    max_hops = None if tail is None else int(tail)
-                except (TypeError, ValueError):
-                    raise ValueError(
-                        f"{path}: entry {position}: non-numeric value in "
-                        f"{entry!r}"
-                    ) from None
-                while len(head) < 3:
-                    head.append(default_samples)
-                queries.append((head[0], head[1], head[2], max_hops))
-        return queries
+        try:
+            return coerce_query_specs(json.loads(stripped))
+        except InvalidQueryError as error:
+            raise InvalidQueryError(f"{path}: {error}") from None
+    queries = []
     for line_number, line in enumerate(text.splitlines(), start=1):
         body = line.split("#", 1)[0].strip()
         if not body:
             continue
         parts = body.split()
         if len(parts) not in (2, 3, 4):
-            raise ValueError(
+            raise InvalidQueryError(
                 f"{path}:{line_number}: expected "
                 f"'source target [samples [max_hops]]', got {line!r}"
             )
-        samples = int(parts[2]) if len(parts) >= 3 else default_samples
-        max_hops = int(parts[3]) if len(parts) == 4 else None
-        queries.append((int(parts[0]), int(parts[1]), samples, max_hops))
-    return queries
-
-
-def _validate_batch_queries(
-    queries: List[BatchQueryTuple], node_count: int, path: str
-) -> None:
-    """Reject malformed queries before any sampling starts.
-
-    The engine (and each estimator) validates too, but deep in the sweep
-    and without file context; failing here turns "ValueError from
-    plan_queries" into "which entry of your file is wrong".
-    """
-    for position, (source, target, samples, max_hops) in enumerate(queries):
-        context = f"repro batch: {path}: query {position}"
-        if not 0 <= source < node_count:
-            raise SystemExit(
-                f"{context}: source {source} out of range for a graph "
-                f"with {node_count} nodes"
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError:
+            raise InvalidQueryError(
+                f"{path}:{line_number}: non-numeric value in {line!r}"
+            ) from None
+        queries.append(
+            QuerySpec(
+                source=numbers[0],
+                target=numbers[1],
+                samples=numbers[2] if len(numbers) >= 3 else None,
+                max_hops=numbers[3] if len(numbers) == 4 else None,
             )
-        if not 0 <= target < node_count:
-            raise SystemExit(
-                f"{context}: target {target} out of range for a graph "
-                f"with {node_count} nodes"
-            )
-        if samples <= 0:
-            raise SystemExit(
-                f"{context}: samples must be a positive integer, "
-                f"got {samples}"
-            )
-        if max_hops is not None and max_hops <= 0:
-            raise SystemExit(
-                f"{context}: max_hops must be a positive integer, "
-                f"got {max_hops}"
-            )
-
-
-def _engine_report(mode: str, result) -> dict:
-    """The JSON ``engine`` section for a :class:`BatchResult`."""
-    return {
-        "mode": mode,
-        "workers": result.workers,
-        "worlds_sampled": result.worlds_sampled,
-        "sweeps": result.sweeps,
-        "cache_hits": result.cache_hits,
-        "cache_misses": result.cache_misses,
-        "seconds": round(result.seconds, 6),
-    }
-
-
-def _result_rows(
-    queries: List[BatchQueryTuple], estimates
-) -> List[dict]:
-    """Per-query JSON rows for estimator-path batch reports."""
-    return [
-        {
-            "source": source,
-            "target": target,
-            "samples": samples,
-            "max_hops": max_hops,
-            "estimate": float(estimate),
-        }
-        for (source, target, samples, max_hops), estimate in zip(
-            queries, estimates
         )
-    ]
+    return tuple(queries)
+
+
+def _check_workload_flags(args: argparse.Namespace) -> None:
+    """Reject nonsensical flag values before touching any dataset."""
+    command = args.command
+    if args.max_hops is not None and args.max_hops <= 0:
+        raise SystemExit(
+            f"repro {command}: --max-hops must be a positive integer, "
+            f"got {args.max_hops}"
+        )
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit(
+            f"repro {command}: --workers must be a positive integer, "
+            f"got {args.workers}"
+        )
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise SystemExit(
+            f"repro {command}: --chunk-size must be a positive integer, "
+            f"got {args.chunk_size}"
+        )
+
+
+def _emit_report(report: dict, output: str, summary: str) -> None:
+    payload = json.dumps(report, indent=2)
+    if output == "-":
+        print(payload)
+    else:
+        Path(output).write_text(payload + "\n", encoding="utf-8")
+        print(summary)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
 
 
 def _command_estimate(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, args.scale, args.seed)
-    estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
-    value = estimator.estimate(
-        args.source, args.target, args.samples,
-        rng=stable_substream(args.seed, args.source, args.target),
-    )
+    service = _open_service(args)
+    try:
+        response = service.estimate(
+            EstimateRequest(
+                source=args.source,
+                target=args.target,
+                samples=args.samples,
+                method=args.method,
+            )
+        )
+    except ReliabilityError as error:
+        raise SystemExit(f"repro estimate: {error}") from None
+    finally:
+        service.close()
     print(
-        f"{display_name(args.method)} on {dataset.title} ({args.scale}): "
-        f"R({args.source}, {args.target}) ~= {value:.6f}  [K={args.samples}]"
+        f"{response.method_display} on {service.dataset.title} "
+        f"({args.scale}): R({args.source}, {args.target}) "
+        f"~= {response.estimate:.6f}  [K={args.samples}]"
     )
     return 0
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    if args.max_hops is not None and args.max_hops <= 0:
-        raise SystemExit(
-            f"repro batch: --max-hops must be a positive integer, "
-            f"got {args.max_hops}"
-        )
-    if args.workers is not None and args.workers <= 0:
-        raise SystemExit(
-            f"repro batch: --workers must be a positive integer, "
-            f"got {args.workers}"
-        )
-    dataset = load_dataset(args.dataset, args.scale, args.seed)
-    queries = _parse_query_file(args.queries, args.samples)
-    if args.max_hops is not None:
-        queries = [
-            (source, target, samples,
-             args.max_hops if max_hops is None else max_hops)
-            for source, target, samples, max_hops in queries
-        ]
-    _validate_batch_queries(queries, dataset.graph.node_count, args.queries)
-    # Fast-path dispatch: the estimator class advertises how its
-    # estimate_batch is served (see Estimator.batch_path).
-    batch_path = estimator_class(args.method).batch_path
+    _check_workload_flags(args)
+    queries = _parse_query_file(args.queries)
+    # Flag-combination guards: adapter-level UX (each names the exact
+    # flags involved); the service re-checks the same invariants in
+    # API terms for non-CLI transports.
+    batch_path = ReliabilityService.batch_path_of(args.method)
     engine_backed = batch_path == "engine"  # mc, bfs_sharing
-    has_fast_path = batch_path != "fallback"  # + prob_tree
+    has_fast_path = batch_path in FAST_BATCH_PATHS  # + prob_tree
     if args.sequential and args.method != "mc":
         raise SystemExit(
             "repro batch: --sequential applies only to --method mc (the "
@@ -396,84 +405,112 @@ def _command_batch(args: argparse.Namespace) -> int:
             "cache by design; --cache-dir applies only to the "
             "shared-world sweep"
         )
-    if not engine_backed and any(
-        max_hops is not None for *_, max_hops in queries
+    if args.sequential and args.workers is not None and args.workers > 1:
+        raise SystemExit(
+            "repro batch: the --sequential oracle re-materialises "
+            "worlds per query in-process; --workers applies only to "
+            "the shared-world sweep"
+        )
+    if not engine_backed and (
+        args.max_hops is not None
+        or any(query.max_hops is not None for query in queries)
     ):
         raise SystemExit(
             "repro batch: hop-bounded (max_hops) queries need the "
             "shared-world engine; use --method mc or bfs_sharing"
         )
-    report = {
-        "dataset": dataset.key,
-        "scale": args.scale,
-        "method": args.method,
-        "seed": args.seed,
-        "query_count": len(queries),
-    }
-    if args.method == "mc":
-        if args.sequential and args.workers is not None and args.workers > 1:
-            raise SystemExit(
-                "repro batch: the --sequential oracle re-materialises "
-                "worlds per query in-process; --workers applies only to "
-                "the shared-world sweep"
+    service = _open_service(args, cache_dir=args.cache_dir)
+    try:
+        response = service.estimate_batch(
+            BatchRequest(
+                queries=queries,
+                method=args.method,
+                samples=args.samples,
+                max_hops=args.max_hops,
+                chunk_size=args.chunk_size,
+                workers=args.workers,
+                sequential=args.sequential,
             )
-        chunk_size = (
-            DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size
         )
-        engine = BatchEngine(
-            dataset.graph, seed=args.seed, chunk_size=chunk_size,
-            workers=args.workers, cache_dir=args.cache_dir,
+    except ReliabilityError as error:
+        raise SystemExit(f"repro batch: {args.queries}: {error}") from None
+    finally:
+        service.close()
+    _emit_report(
+        response.to_dict(),
+        args.output,
+        f"wrote {len(response.results)} results to {args.output}",
+    )
+    return 0
+
+
+def _command_warm(args: argparse.Namespace) -> int:
+    _check_workload_flags(args)
+    queries = _parse_query_file(args.queries)
+    service = _open_service(args, cache_dir=args.cache_dir)
+    try:
+        response = service.warm(
+            WarmRequest(
+                queries=queries,
+                samples=args.samples,
+                max_hops=args.max_hops,
+                chunk_size=args.chunk_size,
+                workers=args.workers,
+            )
         )
-        result = (
-            engine.run_sequential(queries)
-            if args.sequential
-            else engine.run(queries)
+    except ReliabilityError as error:
+        raise SystemExit(f"repro warm: {args.queries}: {error}") from None
+    finally:
+        service.close()
+    report = {"dataset": args.dataset, "scale": args.scale}
+    report.update(response.to_dict())
+    _emit_report(
+        report,
+        args.output,
+        f"warmed {response.newly_written} of {response.unique_queries} "
+        f"unique queries into {args.cache_dir}",
+    )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit(
+            f"repro serve: --workers must be a positive integer, "
+            f"got {args.workers}"
         )
-        report["engine"] = _engine_report(
-            "sequential" if args.sequential else "shared_worlds", result
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise SystemExit(
+            f"repro serve: --chunk-size must be a positive integer, "
+            f"got {args.chunk_size}"
         )
-        report["engine"]["chunk_size"] = chunk_size
-        if args.cache_dir is not None:
-            report["engine"]["cache"] = engine.cache.statistics()
-            engine.cache.close()
-        report["results"] = list(result.as_rows())
-    elif has_fast_path:
-        estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
-        if not engine_backed:
-            # Engine-backed batches never consult the private offline
-            # index (bfs_sharing's O(Km) worlds stay unbuilt); prob_tree
-            # still needs its FWD decomposition.
-            estimator.prepare()
-        options = {"workers": args.workers, "cache_dir": args.cache_dir}
-        if engine_backed:
-            options["chunk_size"] = args.chunk_size
-        estimates = estimator.estimate_batch(
-            queries, seed=args.seed, **options
+    service = _open_service(
+        args,
+        cache_dir=args.cache_dir,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+    )
+
+    def announce(server) -> None:
+        title = service.dataset.title
+        print(
+            f"serving {title} ({args.scale}, seed={args.seed}) "
+            f"on {server.url}",
+            flush=True,
         )
-        mode = "shared_worlds" if engine_backed else "bag_grouped"
-        result = estimator.last_batch_result
-        report["engine"] = (
-            {"mode": mode}
-            if result is None
-            else _engine_report(mode, result)
+        print(
+            "endpoints: POST /v1/estimate, POST /v1/batch, POST /v1/warm, "
+            "GET /v1/health, GET /v1/stats  (Ctrl-C to stop)",
+            flush=True,
         )
-        engine = estimator._batch_engine
-        if args.cache_dir is not None and engine is not None:
-            report["engine"]["cache"] = engine.cache.statistics()
-            engine.cache.close()
-        report["results"] = _result_rows(queries, estimates)
-    else:
-        estimator = create_estimator(args.method, dataset.graph, seed=args.seed)
-        estimator.prepare()
-        estimates = estimator.estimate_batch(queries, seed=args.seed)
-        report["engine"] = {"mode": "per_query_loop"}
-        report["results"] = _result_rows(queries, estimates)
-    payload = json.dumps(report, indent=2)
-    if args.output == "-":
-        print(payload)
-    else:
-        Path(args.output).write_text(payload + "\n", encoding="utf-8")
-        print(f"wrote {len(queries)} results to {args.output}")
+
+    serve(
+        service,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        ready_callback=announce,
+    )
     return 0
 
 
@@ -491,19 +528,28 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 
 def _command_topk(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, args.scale, args.seed)
-    ranking = top_k_reliable_targets(
-        dataset.graph, args.source, args.k,
-        samples=args.samples, method=args.method, rng=args.seed,
-    )
+    service = _open_service(args)
+    try:
+        response = service.topk(
+            TopKRequest(
+                source=args.source,
+                k=args.k,
+                samples=args.samples,
+                method=args.method,
+            )
+        )
+    except ReliabilityError as error:
+        raise SystemExit(f"repro topk: {error}") from None
+    finally:
+        service.close()
     rows = [
         [str(rank), str(node), f"{reliability:.4f}"]
-        for rank, (node, reliability) in enumerate(ranking, start=1)
+        for rank, (node, reliability) in enumerate(response.ranking, start=1)
     ]
     print(
         format_table(
             f"Top-{args.k} reliable targets from node {args.source} "
-            f"({dataset.title}, {args.method}, K={args.samples})",
+            f"({service.dataset.title}, {args.method}, K={args.samples})",
             ["rank", "node", "reliability"],
             rows,
         )
@@ -512,26 +558,33 @@ def _command_topk(args: argparse.Namespace) -> int:
 
 
 def _command_bounds(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, args.scale, args.seed)
-    lower, upper = reliability_bounds(dataset.graph, args.source, args.target)
+    service = _open_service(args)
+    try:
+        response = service.bounds(
+            BoundsRequest(source=args.source, target=args.target)
+        )
+    except ReliabilityError as error:
+        raise SystemExit(f"repro bounds: {error}") from None
+    finally:
+        service.close()
     print(
-        f"{dataset.title} ({args.scale}): "
-        f"{lower:.6f} <= R({args.source}, {args.target}) <= {upper:.6f}"
+        f"{service.dataset.title} ({args.scale}): "
+        f"{response.lower:.6f} <= R({args.source}, {args.target}) "
+        f"<= {response.upper:.6f}"
     )
     return 0
 
 
 def _command_recommend(args: argparse.Namespace) -> int:
-    recommendation = recommend_estimator(
-        memory_limited=args.memory_limited,
-        want_lowest_variance=args.lowest_variance,
-        want_fastest=not args.latency_tolerant,
+    response = ReliabilityService.recommend(
+        RecommendRequest(
+            memory_limited=args.memory_limited,
+            lowest_variance=args.lowest_variance,
+            latency_tolerant=args.latency_tolerant,
+        )
     )
-    print(" -> ".join(recommendation.path))
-    print(
-        "recommended: "
-        + ", ".join(display_name(k) for k in recommendation.estimators)
-    )
+    print(" -> ".join(response.path))
+    print("recommended: " + ", ".join(response.display_names))
     return 0
 
 
@@ -556,7 +609,13 @@ def _command_study(args: argparse.Namespace) -> int:
         engine_workers=args.workers,
         engine_cache_dir=args.cache_dir,
     )
-    result = run_study(config)
+    service = _open_service(args)
+    try:
+        result = service.study(config)
+    except ReliabilityError as error:
+        raise SystemExit(f"repro study: {error}") from None
+    finally:
+        service.close()
     print(
         format_dict_rows(
             f"Accuracy, {result.dataset.title} ({args.scale})",
@@ -578,6 +637,8 @@ def _command_study(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "estimate": _command_estimate,
     "batch": _command_batch,
+    "warm": _command_warm,
+    "serve": _command_serve,
     "datasets": _command_datasets,
     "topk": _command_topk,
     "bounds": _command_bounds,

@@ -34,6 +34,7 @@ Guide with accuracy/speed/memory trade-offs: ``docs/estimators.md``.
 from __future__ import annotations
 
 import pickle
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -60,6 +61,12 @@ from repro.core.graph import UncertainGraph, or_combine
 from repro.util.rng import SeedLike
 
 DEFAULT_WIDTH = 2  # the paper's lossless setting
+
+#: Default bound on cached lifted query graphs.  Lift keys are (bag,
+#: bag) pairs, which real workloads reuse heavily (hot sources/targets
+#: share covering bags); a few dozen assembled graphs cover them while
+#: keeping the resident overhead far below the index itself.
+DEFAULT_LIFT_CACHE_CAPACITY = 32
 
 #: Namespace key for the batch path's per-bag-pair inner seeds, so they
 #: cannot collide with the engine's world stream (0x57) or the base
@@ -438,6 +445,7 @@ class ProbTreeEstimator(Estimator):
         *,
         width: int = DEFAULT_WIDTH,
         estimator_factory: Optional[EstimatorFactory] = None,
+        lift_cache_capacity: int = DEFAULT_LIFT_CACHE_CAPACITY,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(graph, seed=seed)
@@ -445,6 +453,22 @@ class ProbTreeEstimator(Estimator):
         self.estimator_factory = estimator_factory or MonteCarloEstimator
         self._index: Optional[FWDProbTreeIndex] = None
         self._last_query_graph: Optional[UncertainGraph] = None
+        if lift_cache_capacity < 0:
+            raise ValueError(
+                f"lift_cache_capacity must be >= 0 (0 disables the "
+                f"cache), got {lift_cache_capacity}"
+            )
+        self.lift_cache_capacity = lift_cache_capacity
+        #: Bounded LRU of assembled lifted graphs keyed by
+        #: :meth:`FWDProbTreeIndex.lift_key` — the assembled graph is a
+        #: pure function of the (immutable) index and the key, so reuse
+        #: is exact.  Shared by the per-query and batch paths; cleared
+        #: whenever the index is (re)built.
+        self._lift_cache: "OrderedDict[Tuple[int, int], Tuple[UncertainGraph, Dict[int, int]]]" = (
+            OrderedDict()
+        )
+        self.lift_cache_hits = 0
+        self.lift_cache_misses = 0
 
     @property
     def index(self) -> FWDProbTreeIndex:
@@ -456,6 +480,7 @@ class ProbTreeEstimator(Estimator):
     def prepare(self) -> None:
         """Build the FWD index (linear-time offline phase, Fig. 13a)."""
         self._index = FWDProbTreeIndex(self.graph, self.width)
+        self._lift_cache.clear()
 
     def attach_index(self, index: FWDProbTreeIndex) -> None:
         """Use an externally built/loaded index."""
@@ -463,6 +488,34 @@ class ProbTreeEstimator(Estimator):
             raise ValueError("index was built for a different graph instance")
         self._index = index
         self.width = index.width
+        self._lift_cache.clear()
+
+    def lifted_graph(
+        self, key: Tuple[int, int]
+    ) -> Tuple[UncertainGraph, Dict[int, int]]:
+        """The assembled query graph for a lift key, LRU-cached.
+
+        Both query paths go through here: the per-query Alg. 8 walk and
+        the bag-grouped batch path previously re-assembled the bag-pair
+        graph on every call; now a hot (s, t) bag pair lifts **once**
+        per index lifetime (up to eviction).  Reuse is exact — the
+        assembly is deterministic in ``(index, key)`` — and it compounds
+        with the persistent result cache, because a reused graph keeps
+        its memoised fingerprint, so downstream cache keys need no
+        re-hashing either.
+        """
+        cached = self._lift_cache.get(key)
+        if cached is not None:
+            self._lift_cache.move_to_end(key)
+            self.lift_cache_hits += 1
+            return cached
+        self.lift_cache_misses += 1
+        assembled = self.index.lifted_graph(key)
+        if self.lift_cache_capacity > 0:
+            self._lift_cache[key] = assembled
+            while len(self._lift_cache) > self.lift_cache_capacity:
+                self._lift_cache.popitem(last=False)
+        return assembled
 
     def estimate_batch(
         self,
@@ -523,7 +576,7 @@ class ProbTreeEstimator(Estimator):
         results = np.empty(len(workload), dtype=np.float64)
         for key in sorted(groups):  # deterministic group order
             members = groups[key]
-            lifted, node_map = index.lifted_graph(key)
+            lifted, node_map = self.lifted_graph(key)
             self._last_query_graph = lifted
             inner = self.estimator_factory(lifted)
             inner_queries = [
@@ -550,9 +603,12 @@ class ProbTreeEstimator(Estimator):
         samples: int,
         rng: np.random.Generator,
     ) -> float:
-        query_graph, mapped_source, mapped_target, _ = self.index.query_graph(
-            source, target
+        # Through the estimator-level LRU, not index.query_graph: two
+        # queries sharing a (bag, bag) lift key share one assembly.
+        query_graph, node_map = self.lifted_graph(
+            self.index.lift_key(source, target)
         )
+        mapped_source, mapped_target = node_map[source], node_map[target]
         self._last_query_graph = query_graph
         inner = self.estimator_factory(query_graph)
         estimate = inner.estimate(mapped_source, mapped_target, samples, rng=rng)
@@ -570,9 +626,26 @@ class ProbTreeEstimator(Estimator):
         total = super().memory_bytes()
         if self._index is not None:
             total += self._index.size_bytes()
-        if self._last_query_graph is not None:
+        for graph, _ in self._lift_cache.values():
+            total += graph.memory_bytes()
+        if (
+            self._last_query_graph is not None
+            and not any(
+                graph is self._last_query_graph
+                for graph, _ in self._lift_cache.values()
+            )
+        ):
             total += self._last_query_graph.memory_bytes()
         return total
+
+    def lift_cache_statistics(self) -> Dict[str, int]:
+        """Counters for reports: size, capacity, hits, misses."""
+        return {
+            "size": len(self._lift_cache),
+            "capacity": self.lift_cache_capacity,
+            "hits": self.lift_cache_hits,
+            "misses": self.lift_cache_misses,
+        }
 
 
 __all__ = [
@@ -580,6 +653,7 @@ __all__ = [
     "BagEdge",
     "FWDProbTreeIndex",
     "ProbTreeEstimator",
+    "DEFAULT_LIFT_CACHE_CAPACITY",
     "DEFAULT_WIDTH",
     "ROOT_BAG",
 ]

@@ -128,6 +128,11 @@ class BatchResult:
     cache_misses: int
     seconds: float
     workers: int = 1  # processes that evaluated chunks (1 = in-process)
+    #: Per-query cache provenance aligned with ``queries``: ``True`` where
+    #: the estimate was replayed from the result cache without sampling,
+    #: ``False`` where this run evaluated it.  ``None`` when the run had
+    #: no provenance to report (externally constructed results).
+    from_cache: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -141,8 +146,15 @@ class BatchResult:
                 "samples": query.samples,
                 "max_hops": query.max_hops,
                 "estimate": float(estimate),
+                **(
+                    {}
+                    if self.from_cache is None
+                    else {"cached": bool(self.from_cache[position])}
+                ),
             }
-            for query, estimate in zip(self.queries, self.estimates)
+            for position, (query, estimate) in enumerate(
+                zip(self.queries, self.estimates)
+            )
         )
 
 
@@ -464,6 +476,9 @@ class BatchEngine:
             cache_misses=cache_misses,
             seconds=time.perf_counter() - started,
             workers=effective_workers,
+            # `pending` still marks this run's cache misses; its negation
+            # is the per-unique-query provenance, scattered like estimates.
+            from_cache=plan.scatter(~pending),
         )
 
     def run_sequential(self, queries: Iterable[QueryLike]) -> BatchResult:
@@ -504,6 +519,8 @@ class BatchEngine:
             cache_hits=0,
             cache_misses=0,
             seconds=time.perf_counter() - started,
+            # The oracle bypasses the cache on purpose: nothing cached.
+            from_cache=plan.scatter(np.zeros(plan.unique_count, dtype=bool)),
         )
 
 

@@ -243,7 +243,16 @@ class PersistentResultCache(ResultCache):
                 self._connection = None
 
     def _connect(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(self.path, timeout=_SQLITE_TIMEOUT)
+        # check_same_thread=False: the serving layer opens the cache on
+        # the main thread and touches it from HTTP handler threads.
+        # SQLite connections tolerate cross-thread use as long as calls
+        # never overlap, and every caller serialises access — the
+        # ReliabilityService under its request lock, a bare BatchEngine
+        # by being single-threaded (workers fan out *chunk evaluation*
+        # only; the parent alone owns the cache).
+        connection = sqlite3.connect(
+            self.path, timeout=_SQLITE_TIMEOUT, check_same_thread=False
+        )
         try:
             connection.execute(_SCHEMA)
             connection.commit()

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.estimators.base import Estimator
 from repro.core.registry import PAPER_ESTIMATORS, create_estimator, display_name
 from repro.datasets.queries import QueryWorkload, generate_workload
-from repro.datasets.suite import Dataset, load_dataset
+from repro.datasets.suite import Dataset
 from repro.experiments.convergence import (
     ConvergenceCriterion,
     ConvergenceResult,
@@ -197,14 +197,47 @@ class StudyResult:
         }
 
 
-def build_estimator(config: StudyConfig, key: str, graph) -> Estimator:
-    """Instantiate one estimator with the study's options applied."""
+def build_estimator(config: StudyConfig, key: str, graph, service=None) -> Estimator:
+    """Instantiate one estimator with the study's options applied.
+
+    With a :class:`~repro.api.service.ReliabilityService` the estimator
+    is constructed through the facade's hook (same graph, same seed) —
+    the study path and the request-serving path then share one
+    construction story.  Estimators are always *fresh* per study: their
+    RNG state must not leak between runs.
+    """
+    if service is not None:
+        return service.create_estimator(
+            key, seed=config.seed, **config.options_for(key)
+        )
     return create_estimator(key, graph, seed=config.seed, **config.options_for(key))
 
 
-def run_study(config: StudyConfig) -> StudyResult:
-    """Execute a full study: all estimators, full K grid, shared workload."""
-    dataset = load_dataset(config.dataset, config.scale, config.seed)
+def run_study(config: StudyConfig, *, service=None) -> StudyResult:
+    """Execute a full study: all estimators, full K grid, shared workload.
+
+    Every study runs behind the :class:`~repro.api.service.
+    ReliabilityService` facade: pass one in (``service.study(config)``
+    does), or one is built here from the config's ``(dataset, scale,
+    seed)``.  Either way estimators come from the facade's construction
+    hook, so the CLI, the HTTP server, and the experiment harness share
+    a single code path into the estimator registry.
+    """
+    if service is None:
+        # Imported lazily: experiments sit below api in the layer
+        # diagram, but the harness deliberately runs *through* the
+        # facade (docs/architecture.md "Serving layer").
+        from repro.api.service import ReliabilityService
+
+        service = ReliabilityService.from_dataset(
+            config.dataset, config.scale, config.seed
+        )
+    dataset = service.dataset
+    if dataset is None:
+        raise ValueError(
+            "run_study needs a dataset-backed service; build it with "
+            "ReliabilityService.from_dataset(...)"
+        )
     workload = generate_workload(
         dataset.graph,
         pair_count=config.pair_count,
@@ -215,7 +248,7 @@ def run_study(config: StudyConfig) -> StudyResult:
     results: Dict[str, ConvergenceResult] = {}
     prepare_seconds: Dict[str, float] = {}
     for key in config.estimators:
-        estimator = build_estimator(config, key, dataset.graph)
+        estimator = build_estimator(config, key, dataset.graph, service=service)
         started = time.perf_counter()
         estimator.prepare()
         prepare_seconds[key] = time.perf_counter() - started

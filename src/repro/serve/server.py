@@ -1,0 +1,260 @@
+"""The HTTP serving layer: a JSON API over one `ReliabilityService`.
+
+One long-lived process amortises everything the paper says is expensive
+— graph loading, index construction, world sampling — across all
+clients: the :class:`~repro.api.service.ReliabilityService` owns the
+graph, the estimators, and the result caches; this module merely maps
+HTTP onto it.  Built entirely on the stdlib (``http.server``), matching
+the repo's numpy-only runtime dependency.
+
+Endpoints (all JSON)::
+
+    POST /v1/estimate   EstimateRequest  -> EstimateResponse
+    POST /v1/batch      BatchRequest     -> BatchResponse
+    POST /v1/warm       WarmRequest      -> WarmResponse
+    GET  /v1/health     liveness payload
+    GET  /v1/stats      service-lifetime counters + cache statistics
+
+The batch endpoint returns the same JSON document ``repro batch``
+prints — same engine report, same per-query rows — so a client can move
+between the CLI and the server without changing a parser.  Failures are
+structured: every :class:`~repro.api.errors.ReliabilityError` becomes
+``{"error": {"type": ..., "message": ...}}`` with a 400 status, unknown
+paths 404, wrong verbs 405, and unexpected exceptions a minimal 500
+(details stay server-side).
+
+Concurrency: :class:`ThreadingHTTPServer` handles each connection on its
+own thread; the service's internal lock serialises estimator/engine
+access, and the engine's determinism contract makes concurrent identical
+requests **bit-identical** (property-tested in ``tests/serve``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.api.errors import InvalidQueryError, ReliabilityError
+from repro.api.service import ReliabilityService
+from repro.api.types import BatchRequest, EstimateRequest, WarmRequest
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8315
+
+#: Largest accepted request body; far above any sane workload, small
+#: enough that a misdirected upload cannot balloon server memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ReliabilityHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ReliabilityService`."""
+
+    daemon_threads = True  # in-flight handlers die with the process
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: ReliabilityService,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, ReliabilityRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ReliabilityRequestHandler(BaseHTTPRequestHandler):
+    """Routes the five ``/v1`` endpoints onto the bound service."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    #: The GET-only endpoints (POST routes live in :meth:`_post_routes`).
+    _GET_PATHS = ("/v1/health", "/v1/stats")
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        service = self.server.service
+        if self.path == "/v1/health":
+            self._send_json(200, service.health())
+        elif self.path == "/v1/stats":
+            self._send_json(200, service.stats())
+        elif self.path in self._post_routes():
+            self._send_method_not_allowed("POST")
+        else:
+            self._send_json(404, _error_body("not found", self.path))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        handler = self._post_routes().get(self.path)
+        if handler is None:
+            if self.path in self._GET_PATHS:
+                self._send_method_not_allowed("GET")
+            else:
+                self._send_json(404, _error_body("not found", self.path))
+            return
+        try:
+            payload = self._read_json()
+            response = handler(payload)
+        except ReliabilityError as error:
+            self._send_json(error.http_status, {"error": error.to_dict()})
+        except Exception:  # noqa: BLE001 — the transport must not die
+            self._send_json(
+                500,
+                {
+                    "error": {
+                        "type": "InternalError",
+                        "message": "internal server error",
+                    }
+                },
+            )
+            raise  # surfaces in the server log; the client got its 500
+        else:
+            self._send_json(200, response)
+
+    def _post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
+        service = self.server.service
+        return {
+            "/v1/estimate": lambda payload: service.estimate(
+                EstimateRequest.from_dict(payload)
+            ).to_dict(),
+            "/v1/batch": lambda payload: service.estimate_batch(
+                BatchRequest.from_dict(payload)
+            ).to_dict(),
+            "/v1/warm": lambda payload: service.warm(
+                WarmRequest.from_dict(payload)
+            ).to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # IO helpers
+    # ------------------------------------------------------------------
+
+    def _read_json(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            # The body size is unknowable, so the connection cannot be
+            # resynchronised for keep-alive: close it after the error.
+            self.close_connection = True
+            raise InvalidQueryError("invalid Content-Length header") from None
+        if length <= 0:
+            raise InvalidQueryError(
+                "request body must be a JSON object (empty body received)"
+            )
+        if length > MAX_BODY_BYTES:
+            # Drain (and discard) the declared body in bounded chunks
+            # before rejecting: responding while the client is still
+            # writing would reset the connection and the structured 400
+            # would never arrive.  The connection is closed afterwards
+            # regardless — a client that declared more than it sends
+            # must not stall a keep-alive handler thread forever.
+            self.close_connection = True
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise InvalidQueryError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise InvalidQueryError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_method_not_allowed(self, allowed: str) -> None:
+        self._send_json(
+            405,
+            {
+                "error": {
+                    "type": "MethodNotAllowed",
+                    "message": f"{self.path} only accepts {allowed}",
+                }
+            },
+            extra_headers={"Allow": allowed},
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+
+def _error_body(message: str, path: str) -> Dict[str, Any]:
+    return {"error": {"type": "NotFound", "message": f"{message}: {path}"}}
+
+
+def create_server(
+    service: ReliabilityService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+) -> ReliabilityHTTPServer:
+    """Bind a server to ``service`` (``port=0`` picks a free port).
+
+    The caller owns both lifetimes: ``server.serve_forever()`` to run,
+    then ``server.shutdown()`` / ``server.server_close()`` and
+    ``service.close()`` to tear down.  Tests bind to port 0 and drive
+    the returned server from a background thread.
+    """
+    return ReliabilityHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    service: ReliabilityService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+    ready_callback: Optional[Callable[[ReliabilityHTTPServer], None]] = None,
+) -> None:
+    """Run the server until interrupted (the ``repro serve`` body)."""
+    server = create_server(service, host, port, quiet=quiet)
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_BODY_BYTES",
+    "ReliabilityHTTPServer",
+    "ReliabilityRequestHandler",
+    "create_server",
+    "serve",
+]

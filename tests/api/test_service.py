@@ -1,0 +1,464 @@
+"""Tests for the `ReliabilityService` facade.
+
+The facade is the single public surface: these tests pin (a) its
+equivalence to the lower-level building blocks it wraps, (b) its
+structured failure modes, and (c) the amortisation a long-lived service
+exists for — shared caches, shared estimator indexes, and thread-safe
+bit-identical answers.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    BoundsRequest,
+    EstimateRequest,
+    GraphLoadError,
+    InvalidQueryError,
+    QuerySpec,
+    RecommendRequest,
+    ReliabilityService,
+    TopKRequest,
+    UnknownEstimatorError,
+    WarmRequest,
+)
+from repro.core.bounds import reliability_bounds
+from repro.core.graph import UncertainGraph
+from repro.core.recommend import recommend_estimator
+from repro.core.registry import create_estimator
+from repro.engine.batch import BatchEngine
+from repro.queries.top_k import top_k_reliable_targets
+from repro.util.rng import stable_substream
+
+WORKLOAD = (
+    QuerySpec(0, 5, 200),
+    QuerySpec(3, 9, 150),
+    QuerySpec(0, 5, 200),  # duplicate on purpose
+)
+
+
+@pytest.fixture
+def service():
+    built = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+    yield built
+    built.close()
+
+
+class TestConstruction:
+    def test_from_dataset_unknown_key_is_structured(self):
+        with pytest.raises(GraphLoadError, match="unknown dataset"):
+            ReliabilityService.from_dataset("not_a_dataset", "tiny")
+
+    def test_from_dataset_unknown_scale_is_structured(self):
+        with pytest.raises(GraphLoadError, match="unknown scale"):
+            ReliabilityService.from_dataset("lastfm", "galactic")
+
+    def test_raw_graph_service(self, diamond_graph):
+        service = ReliabilityService(diamond_graph, seed=1)
+        response = service.estimate(
+            EstimateRequest(source=0, target=3, samples=2_000)
+        )
+        assert 0.0 <= response.estimate <= 1.0
+        assert response.dataset is None
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(GraphLoadError, match="UncertainGraph"):
+            ReliabilityService("not a graph")
+
+    def test_context_manager_closes(self, diamond_graph):
+        with ReliabilityService(diamond_graph) as service:
+            assert service.health()["status"] == "ok"
+        assert service.health()["status"] == "closed"
+
+
+class TestEstimate:
+    def test_matches_direct_registry_protocol(self, service):
+        """The facade replays the CLI's historical per-query protocol."""
+        estimator = create_estimator("mc", service.graph, seed=3)
+        expected = estimator.estimate(
+            0, 5, 200, rng=stable_substream(3, 0, 5)
+        )
+        response = service.estimate(
+            EstimateRequest(source=0, target=5, samples=200)
+        )
+        assert response.estimate == expected
+        assert response.method_display == "MC"
+        assert response.seed == 3
+
+    def test_repeated_calls_replay_identically(self, service):
+        request = EstimateRequest(source=0, target=5, samples=200)
+        first = service.estimate(request)
+        second = service.estimate(request)
+        assert first.estimate == second.estimate
+
+    def test_unknown_method_is_structured(self, service):
+        with pytest.raises(UnknownEstimatorError, match="unknown estimator"):
+            service.estimate(
+                EstimateRequest(source=0, target=5, method="quantum")
+            )
+
+    def test_out_of_range_node_is_structured(self, service):
+        with pytest.raises(InvalidQueryError, match="source 999 out of range"):
+            service.estimate(EstimateRequest(source=999, target=5))
+
+    def test_nonpositive_samples_rejected(self, service):
+        with pytest.raises(InvalidQueryError, match="samples"):
+            service.estimate(EstimateRequest(source=0, target=5, samples=0))
+
+    def test_estimators_are_cached_per_method(self, service):
+        service.estimate(EstimateRequest(source=0, target=5, samples=50))
+        service.estimate(EstimateRequest(source=3, target=9, samples=50))
+        assert service.estimator("mc") is service.estimator("mc")
+        assert service.stats()["estimators_loaded"] == ["mc"]
+
+
+class TestEstimateBatch:
+    def test_engine_path_matches_bare_engine(self, service):
+        engine = BatchEngine(service.graph, seed=3)
+        expected = engine.run([(0, 5, 200), (3, 9, 150), (0, 5, 200)])
+        response = service.estimate_batch(BatchRequest(queries=WORKLOAD))
+        assert response.estimates == [float(e) for e in expected.estimates]
+        assert response.engine.mode == "shared_worlds"
+        assert response.engine.worlds_sampled == 200
+
+    def test_second_identical_request_served_from_cache(self, service):
+        request = BatchRequest(queries=WORKLOAD)
+        first = service.estimate_batch(request)
+        second = service.estimate_batch(request)
+        assert second.engine.worlds_sampled == 0
+        assert second.engine.sweeps == 0
+        assert [r.cached for r in first.results] == [False, False, False]
+        assert [r.cached for r in second.results] == [True, True, True]
+        assert first.estimates == second.estimates
+
+    def test_bfs_sharing_bit_identical_to_mc(self, service):
+        mc = service.estimate_batch(BatchRequest(queries=WORKLOAD))
+        bfs = service.estimate_batch(
+            BatchRequest(queries=WORKLOAD, method="bfs_sharing")
+        )
+        assert mc.estimates == bfs.estimates
+
+    def test_default_samples_applied(self, service):
+        response = service.estimate_batch(
+            BatchRequest(queries=(QuerySpec(0, 5),), samples=120)
+        )
+        assert response.results[0].samples == 120
+
+    def test_prob_tree_matches_direct_estimator(self, service):
+        direct = create_estimator("prob_tree", service.graph, seed=3)
+        direct.prepare()
+        expected = direct.estimate_batch(
+            [(0, 5, 200), (3, 9, 150)], seed=3
+        )
+        response = service.estimate_batch(
+            BatchRequest(
+                queries=(QuerySpec(0, 5, 200), QuerySpec(3, 9, 150)),
+                method="prob_tree",
+            )
+        )
+        assert response.engine.mode == "bag_grouped"
+        assert response.estimates == [float(e) for e in expected]
+
+    def test_fallback_matches_direct_estimator(self, service):
+        direct = create_estimator("rhh", service.graph, seed=3)
+        expected = direct.estimate_batch([(0, 5, 100)], seed=3)
+        response = service.estimate_batch(
+            BatchRequest(queries=(QuerySpec(0, 5, 100),), method="rhh")
+        )
+        assert response.engine.mode == "per_query_loop"
+        assert response.estimates == [float(expected[0])]
+
+    def test_sequential_oracle_agrees_with_shared_worlds(self, service):
+        shared = service.estimate_batch(BatchRequest(queries=WORKLOAD))
+        sequential = service.estimate_batch(
+            BatchRequest(queries=WORKLOAD, sequential=True)
+        )
+        assert sequential.engine.mode == "sequential"
+        assert shared.estimates == sequential.estimates
+
+    def test_out_of_range_query_names_its_position(self, service):
+        with pytest.raises(
+            InvalidQueryError, match="query 1: target 999 out of range"
+        ):
+            service.estimate_batch(
+                BatchRequest(
+                    queries=(QuerySpec(0, 5, 100), QuerySpec(0, 999, 100))
+                )
+            )
+
+    def test_hop_bounded_fallback_rejected(self, service):
+        with pytest.raises(InvalidQueryError, match="shared-world engine"):
+            service.estimate_batch(
+                BatchRequest(
+                    queries=(QuerySpec(0, 5, 100, 2),), method="rhh"
+                )
+            )
+
+    def test_workers_on_fallback_rejected(self, service):
+        with pytest.raises(InvalidQueryError, match="fast path"):
+            service.estimate_batch(
+                BatchRequest(
+                    queries=(QuerySpec(0, 5, 100),), method="rhh", workers=2
+                )
+            )
+
+    def test_sequential_on_persistent_service_rejected(self, tmp_path):
+        with ReliabilityService.from_dataset(
+            "lastfm", "tiny", seed=3, cache_dir=str(tmp_path)
+        ) as service:
+            with pytest.raises(InvalidQueryError, match="bypasses"):
+                service.estimate_batch(
+                    BatchRequest(queries=WORKLOAD, sequential=True)
+                )
+
+    def test_request_seed_overrides_service_seed(self, service):
+        engine = BatchEngine(service.graph, seed=11)
+        expected = engine.run([(0, 5, 200)])
+        response = service.estimate_batch(
+            BatchRequest(queries=(QuerySpec(0, 5, 200),), seed=11)
+        )
+        assert response.seed == 11
+        assert response.estimates == [float(expected.estimates[0])]
+
+    def test_to_dict_shape_is_the_cli_contract(self, service):
+        report = service.estimate_batch(
+            BatchRequest(queries=WORKLOAD)
+        ).to_dict()
+        assert list(report) == [
+            "dataset", "scale", "method", "seed", "query_count", "engine",
+            "results",
+        ]
+        assert report["dataset"] == "lastfm"
+        assert report["scale"] == "tiny"
+        assert report["query_count"] == 3
+        for row in report["results"]:
+            assert set(row) == {
+                "source", "target", "samples", "max_hops", "estimate",
+                "cached",
+            }
+
+
+class TestWarm:
+    def test_warm_reports_new_vs_already_warm(self, service):
+        first = service.warm(WarmRequest(queries=WORKLOAD))
+        assert first.query_count == 3
+        assert first.unique_queries == 2  # the duplicate collapses
+        assert first.newly_written == 2
+        assert first.already_warm == 0
+        second = service.warm(WarmRequest(queries=WORKLOAD))
+        assert second.newly_written == 0
+        assert second.already_warm == 2
+        assert second.worlds_sampled == 0
+
+    def test_warm_serves_subsequent_batches(self, service):
+        service.warm(WarmRequest(queries=WORKLOAD))
+        response = service.estimate_batch(BatchRequest(queries=WORKLOAD))
+        assert response.engine.worlds_sampled == 0
+        assert all(result.cached for result in response.results)
+
+    def test_warm_persists_across_services(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with ReliabilityService.from_dataset(
+            "lastfm", "tiny", seed=3, cache_dir=cache_dir
+        ) as warmer:
+            report = warmer.warm(WarmRequest(queries=WORKLOAD))
+            assert report.persistent is True
+        with ReliabilityService.from_dataset(
+            "lastfm", "tiny", seed=3, cache_dir=cache_dir
+        ) as reader:
+            response = reader.estimate_batch(BatchRequest(queries=WORKLOAD))
+            assert response.engine.worlds_sampled == 0
+
+    def test_warm_validates_queries(self, service):
+        with pytest.raises(InvalidQueryError, match="query 0"):
+            service.warm(WarmRequest(queries=(QuerySpec(0, 9999, 10),)))
+
+
+class TestOtherEndpoints:
+    def test_topk_matches_direct_call(self, service):
+        expected = top_k_reliable_targets(
+            service.graph, 0, 3, samples=200, method="bfs_sharing", rng=3
+        )
+        response = service.topk(TopKRequest(source=0, k=3, samples=200))
+        assert list(response.ranking) == expected
+
+    def test_topk_unknown_method_rejected(self, service):
+        with pytest.raises(UnknownEstimatorError, match="top-k"):
+            service.topk(TopKRequest(source=0, method="rss"))
+
+    def test_bounds_matches_direct_call(self, service):
+        lower, upper = reliability_bounds(service.graph, 0, 5)
+        response = service.bounds(BoundsRequest(source=0, target=5))
+        assert (response.lower, response.upper) == (lower, upper)
+
+    def test_recommend_matches_decision_tree(self):
+        expected = recommend_estimator(
+            memory_limited=True, want_fastest=True
+        )
+        response = ReliabilityService.recommend(
+            RecommendRequest(memory_limited=True)
+        )
+        assert response.estimators == tuple(expected.estimators)
+        assert "ProbTree" in response.display_names
+
+    def test_health_and_stats(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["dataset"] == "lastfm"
+        service.estimate(EstimateRequest(source=0, target=5, samples=50))
+        stats = service.stats()
+        assert stats["requests"]["estimate"] == 1
+        assert stats["cache"]["capacity"] > 0
+        assert stats["persistent"] is False
+        assert stats["uptime_seconds"] >= 0
+
+
+class TestStudy:
+    def test_study_through_facade_matches_direct_runner(self):
+        from repro.experiments.convergence import ConvergenceCriterion
+        from repro.experiments.runner import StudyConfig, run_study
+
+        config = StudyConfig(
+            dataset="lastfm",
+            scale="tiny",
+            pair_count=2,
+            repeats=2,
+            criterion=ConvergenceCriterion(k_start=250, k_step=250, k_max=500),
+            estimators=("mc",),
+            seed=3,
+        )
+        direct = run_study(config)
+        service = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+        via_facade = service.study(config)
+        assert direct.accuracy_rows() == via_facade.accuracy_rows()
+
+    def test_study_config_must_match_service(self, service):
+        from repro.experiments.runner import StudyConfig
+
+        config = StudyConfig(dataset="nethept", scale="tiny", seed=3)
+        with pytest.raises(InvalidQueryError, match="addresses"):
+            service.study(config)
+
+    def test_raw_graph_service_refuses_studies(self, diamond_graph):
+        from repro.experiments.runner import StudyConfig
+
+        service = ReliabilityService(diamond_graph)
+        with pytest.raises(GraphLoadError, match="raw graph"):
+            service.study(StudyConfig(dataset="lastfm", scale="tiny"))
+
+
+class TestThreadSafety:
+    def test_concurrent_batches_are_bit_identical(self, service):
+        request = BatchRequest(queries=WORKLOAD)
+        oracle = BatchEngine(service.graph, seed=3).run(
+            [(0, 5, 200), (3, 9, 150), (0, 5, 200)]
+        )
+        expected = [float(e) for e in oracle.estimates]
+        results = [None] * 8
+        errors = []
+
+        def worker(slot):
+            try:
+                results[slot] = service.estimate_batch(request).estimates
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(results))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(result == expected for result in results)
+
+    def test_concurrent_mixed_endpoints(self, service):
+        errors = []
+
+        def estimate():
+            try:
+                service.estimate(
+                    EstimateRequest(source=0, target=5, samples=100)
+                )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def batch():
+            try:
+                service.estimate_batch(BatchRequest(queries=WORKLOAD))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=target) for target in
+                   (estimate, batch, estimate, batch)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = service.stats()
+        assert stats["requests"]["estimate"] == 2
+        assert stats["requests"]["batch"] == 2
+
+
+class TestBatchPathIntrospection:
+    def test_batch_path_of(self):
+        assert ReliabilityService.batch_path_of("mc") == "engine"
+        assert ReliabilityService.batch_path_of("bfs_sharing") == "engine"
+        assert ReliabilityService.batch_path_of("prob_tree") == "bag_grouped"
+        assert ReliabilityService.batch_path_of("rhh") == "fallback"
+
+    def test_batch_path_of_unknown_method(self):
+        with pytest.raises(UnknownEstimatorError):
+            ReliabilityService.batch_path_of("quantum")
+
+
+def test_numpy_estimates_are_plain_floats(diamond_graph):
+    service = ReliabilityService(diamond_graph, seed=0)
+    response = service.estimate_batch(
+        BatchRequest(queries=(QuerySpec(0, 3, 64),))
+    )
+    assert not isinstance(response.results[0].estimate, np.floating)
+
+
+class TestEstimateSeedProvenance:
+    def test_index_methods_honour_the_request_seed(self, service):
+        """Regression: a request seed must govern index-backed answers.
+
+        The long-lived bfs_sharing estimator samples its world index
+        from the service seed; a request carrying its own seed gets a
+        fresh estimator seeded by the request, so the reported seed is
+        the estimate's true provenance.
+        """
+        response = service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=200, method="bfs_sharing",
+                seed=11,
+            )
+        )
+        direct = create_estimator("bfs_sharing", service.graph, seed=11)
+        expected = direct.estimate(
+            0, 5, 200, rng=stable_substream(11, 0, 5)
+        )
+        assert response.seed == 11
+        assert response.estimate == expected
+
+    def test_service_seed_requests_share_the_cached_index(self, service):
+        first = service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=200, method="bfs_sharing"
+            )
+        )
+        second = service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=200, method="bfs_sharing",
+                seed=3,  # explicit but equal to the service seed
+            )
+        )
+        assert first.estimate == second.estimate
+        assert "bfs_sharing" in service.stats()["estimators_loaded"]

@@ -256,3 +256,112 @@ class TestBatchFastPath:
         a = ProbTreeEstimator(graph, seed=0).estimate_batch(queries, seed=5)
         b = ProbTreeEstimator(graph, seed=0).estimate_batch(queries, seed=5)
         np.testing.assert_array_equal(a, b)
+
+
+class TestLiftCache:
+    """The estimator-level LRU of assembled lifted graphs (ROADMAP item)."""
+
+    def _estimator(self, seed=12, **options):
+        graph = random_graph(seed, node_count=14, edge_probability=0.25)
+        estimator = ProbTreeEstimator(graph, seed=0, **options)
+        estimator.prepare()
+        return estimator
+
+    def test_per_query_path_hits_the_cache(self):
+        estimator = self._estimator()
+        rng = np.random.default_rng(0)
+        estimator.estimate(0, 13, 50, rng=rng)
+        assert estimator.lift_cache_statistics()["misses"] == 1
+        estimator.estimate(0, 13, 50, rng=rng)
+        stats = estimator.lift_cache_statistics()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_batch_path_lifts_each_key_once(self):
+        estimator = self._estimator()
+        queries = [(0, 13, 50), (0, 13, 80), (3, 9, 50), (0, 13, 50)]
+        estimator.estimate_batch(queries, seed=3)
+        index = estimator.index
+        distinct_keys = {
+            index.lift_key(s, t) for s, t, *_ in queries
+        }
+        stats = estimator.lift_cache_statistics()
+        assert stats["misses"] == len(distinct_keys)
+
+    def test_batch_then_per_query_reuses_assemblies(self):
+        estimator = self._estimator()
+        estimator.estimate_batch([(0, 13, 50)], seed=3)
+        misses = estimator.lift_cache_statistics()["misses"]
+        estimator.estimate(0, 13, 50, rng=np.random.default_rng(0))
+        stats = estimator.lift_cache_statistics()
+        assert stats["misses"] == misses  # no re-assembly
+        assert stats["hits"] >= 1
+
+    def test_cached_estimates_are_bit_identical_to_uncached(self):
+        graph = random_graph(13, node_count=14, edge_probability=0.25)
+        cached = ProbTreeEstimator(graph, seed=0)
+        uncached = ProbTreeEstimator(graph, seed=0, lift_cache_capacity=0)
+        queries = [(0, 13, 200), (3, 9, 150), (0, 13, 200)]
+        np.testing.assert_array_equal(
+            cached.estimate_batch(queries, seed=5),
+            uncached.estimate_batch(queries, seed=5),
+        )
+        assert cached.lift_cache_statistics()["size"] > 0
+        assert uncached.lift_cache_statistics()["size"] == 0
+
+    def test_capacity_bounds_the_cache(self):
+        estimator = self._estimator(lift_cache_capacity=2)
+        index = estimator.index
+        keys = set()
+        for s in range(estimator.graph.node_count):
+            for t in range(estimator.graph.node_count):
+                if s != t:
+                    keys.add(index.lift_key(s, t))
+        for key in keys:
+            estimator.lifted_graph(key)
+        assert len(estimator._lift_cache) <= 2
+        assert estimator.lift_cache_statistics()["size"] <= 2
+
+    def test_lru_eviction_order(self):
+        estimator = self._estimator(lift_cache_capacity=2)
+        index = estimator.index
+        keys = []
+        for s in range(estimator.graph.node_count):
+            for t in range(estimator.graph.node_count):
+                key = index.lift_key(s, t)
+                if key not in keys:
+                    keys.append(key)
+                if len(keys) == 3:
+                    break
+            if len(keys) == 3:
+                break
+        assert len(keys) == 3, "graph too small for three distinct keys"
+        a, b, c = keys
+        estimator.lifted_graph(a)
+        estimator.lifted_graph(b)
+        estimator.lifted_graph(a)  # refresh a: b is now least recent
+        estimator.lifted_graph(c)  # evicts b
+        assert a in estimator._lift_cache
+        assert c in estimator._lift_cache
+        assert b not in estimator._lift_cache
+
+    def test_prepare_clears_the_cache(self):
+        estimator = self._estimator()
+        estimator.estimate(0, 13, 20, rng=np.random.default_rng(0))
+        assert estimator.lift_cache_statistics()["size"] > 0
+        estimator.prepare()
+        assert estimator.lift_cache_statistics()["size"] == 0
+
+    def test_negative_capacity_rejected(self):
+        graph = random_graph(14, node_count=8, edge_probability=0.3)
+        with pytest.raises(ValueError, match="lift_cache_capacity"):
+            ProbTreeEstimator(graph, lift_cache_capacity=-1)
+
+    def test_cached_graph_is_the_same_object(self):
+        # Reuse keeps the memoised fingerprint, so downstream result
+        # caches skip re-hashing the lifted graph too.
+        estimator = self._estimator()
+        key = estimator.index.lift_key(0, 13)
+        first, _ = estimator.lifted_graph(key)
+        second, _ = estimator.lifted_graph(key)
+        assert first is second

@@ -244,3 +244,44 @@ class TestInstrumentation:
         assert mc.memory_bytes() > lazy_bytes
         mc.estimate(0, 3, 50)  # per-query path resets the report
         assert mc.memory_bytes() == lazy_bytes
+
+
+class TestCacheProvenance:
+    """`BatchResult.from_cache`: per-query cached-vs-evaluated flags."""
+
+    def test_cold_run_marks_nothing_cached(self):
+        graph = random_graph(21)
+        result = BatchEngine(graph, seed=3).run(WORKLOAD)
+        assert result.from_cache is not None
+        assert not result.from_cache.any()
+        assert [row["cached"] for row in result.as_rows()] == [False] * 6
+
+    def test_warm_run_marks_everything_cached(self):
+        graph = random_graph(21)
+        engine = BatchEngine(graph, seed=3)
+        engine.run(WORKLOAD)
+        warm = engine.run(WORKLOAD)
+        assert warm.from_cache.all()
+        assert warm.worlds_sampled == 0
+        assert [row["cached"] for row in warm.as_rows()] == [True] * 6
+
+    def test_partial_overlap_is_flagged_per_query(self):
+        graph = random_graph(21)
+        engine = BatchEngine(graph, seed=3)
+        engine.run([(0, 3, 400)])
+        mixed = engine.run([(0, 3, 400), (1, 4, 250)])
+        np.testing.assert_array_equal(mixed.from_cache, [True, False])
+
+    def test_duplicates_share_their_provenance(self):
+        graph = random_graph(21)
+        result = BatchEngine(graph, seed=3).run(
+            [(0, 3, 400), (0, 3, 400)]
+        )
+        assert list(result.from_cache) == [False, False]
+
+    def test_sequential_oracle_reports_uncached(self):
+        graph = random_graph(21)
+        engine = BatchEngine(graph, seed=3)
+        engine.run(WORKLOAD)  # populate the cache...
+        sequential = engine.run_sequential(WORKLOAD)
+        assert not sequential.from_cache.any()  # ...which the oracle bypasses

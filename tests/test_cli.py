@@ -583,3 +583,93 @@ class TestBatchJsonForms:
         with pytest.raises(ValueError, match="entry 0.*non-numeric"):
             main(["batch", "--queries", path, "--dataset", "lastfm",
                   "--scale", "tiny"])
+
+
+class TestWarm:
+    """`repro warm`: speculative evaluation into the persistent sidecar."""
+
+    def _write_queries(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def _warm(self, path, cache_dir, *extra):
+        return main(
+            ["warm", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--seed", "3", "--cache-dir", cache_dir,
+             *extra]
+        )
+
+    def test_first_pass_writes_second_is_already_warm(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200\n3 9 150\n0 5 200\n")
+        cache_dir = str(tmp_path / "cache")
+        assert self._warm(path, cache_dir) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["query_count"] == 3
+        assert cold["unique_queries"] == 2  # the duplicate collapses
+        assert cold["newly_written"] == 2
+        assert cold["already_warm"] == 0
+        assert cold["persistent"] is True
+        assert self._warm(path, cache_dir) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["newly_written"] == 0
+        assert warm["already_warm"] == 2
+        assert warm["worlds_sampled"] == 0
+
+    def test_warmed_sidecar_serves_repro_batch(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 200\n3 9 150\n")
+        cache_dir = str(tmp_path / "cache")
+        assert self._warm(path, cache_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--seed", "3", "--cache-dir", cache_dir]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["engine"]["worlds_sampled"] == 0
+        assert [row["cached"] for row in report["results"]] == [True, True]
+
+    def test_warm_is_method_agnostic(self, capsys, tmp_path):
+        # The cache key carries no estimator: a warm pass serves
+        # bfs_sharing batches just as well as mc ones.
+        path = self._write_queries(tmp_path, "0 5 200\n")
+        cache_dir = str(tmp_path / "cache")
+        assert self._warm(path, cache_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["batch", "--queries", path, "--dataset", "lastfm",
+             "--scale", "tiny", "--seed", "3", "--cache-dir", cache_dir,
+             "--method", "bfs_sharing"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["engine"]["worlds_sampled"] == 0
+
+    def test_warm_accepts_hop_bounded_queries(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100 2\n0 5 100\n")
+        cache_dir = str(tmp_path / "cache")
+        assert self._warm(path, cache_dir) == 0
+        report = json.loads(capsys.readouterr().out)
+        # A d-hop query and its unbounded twin are distinct cache keys.
+        assert report["unique_queries"] == 2
+
+    def test_warm_requires_cache_dir(self, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100\n")
+        with pytest.raises(SystemExit):
+            main(
+                ["warm", "--queries", path, "--dataset", "lastfm",
+                 "--scale", "tiny"]
+            )
+
+    def test_warm_validates_queries_with_context(self, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100\n0 99999 100\n")
+        with pytest.raises(SystemExit, match="query 1"):
+            self._warm(path, str(tmp_path / "cache"))
+
+    def test_warm_output_file(self, capsys, tmp_path):
+        path = self._write_queries(tmp_path, "0 5 100\n")
+        out = tmp_path / "warm.json"
+        assert self._warm(
+            path, str(tmp_path / "cache"), "--output", str(out)
+        ) == 0
+        assert "warmed 1 of 1" in capsys.readouterr().out
+        assert json.loads(out.read_text())["newly_written"] == 1
