@@ -25,10 +25,28 @@ What the service owns
 * request counters for the ``/v1/stats`` endpoint.
 
 Thread safety: all public methods may be called from concurrent threads
-(the HTTP layer does).  A single re-entrant lock serialises estimator
-and engine access; combined with the engine's determinism contract
-(world ``i`` is a pure function of ``(graph, seed, i)``), concurrent
-identical requests return **bit-identical** estimates.
+(the HTTP layer does).  Locking is fine-grained so independent requests
+actually run in parallel:
+
+* a short **prepare lock** covers lazy estimator construction only —
+  each method's index is built exactly once, and the estimator map is
+  published copy-on-write so readers never need the lock;
+* every engine-backed request (``estimate_batch`` on an engine-path
+  method, ``warm``) builds its own cheap :class:`BatchEngine` and runs
+  it **outside any service lock** — concurrent runs share only the
+  internally thread-safe result cache;
+* ``topk`` and ``bounds`` build all their state per call, so they run
+  unlocked too;
+* calls into a *shared, stateful* estimator instance (``estimate``, and
+  the non-engine batch paths) serialise on that method's own lock —
+  different methods proceed in parallel, and index reuse stays safe;
+* request counters live behind a micro-lock, so ``health()`` and
+  ``stats()`` snapshots never wait on a running engine.
+
+Determinism is untouched by any of this: world ``i`` is a pure function
+of ``(graph, seed, i)`` and cache keys are exact, so concurrent
+identical requests return **bit-identical** estimates no matter how
+they interleave (hammer-tested in ``tests/serve``).
 
 Determinism: with an explicit ``seed`` the service's answers equal the
 CLI's historical output exactly — the CLI *is* this facade now, and the
@@ -87,6 +105,9 @@ FAST_BATCH_PATHS = ("engine", "bag_grouped")
 class ReliabilityService:
     """Answers every public query type over one uncertain graph.
 
+    The request-counter key set (fixed up front so counter snapshots are
+    lock-free) is :data:`ENDPOINTS`.
+
     Parameters
     ----------
     graph:
@@ -101,6 +122,9 @@ class ReliabilityService:
     chunk_size / workers:
         Engine defaults for requests that do not override them.
     """
+
+    #: Every counted endpoint, fixed so the counter dict never resizes.
+    ENDPOINTS = ("estimate", "batch", "warm", "topk", "bounds", "study")
 
     def __init__(
         self,
@@ -135,10 +159,21 @@ class ReliabilityService:
             if self.cache_dir is not None
             else ResultCache(cache_capacity)
         )
-        self._estimators: Dict[str, Estimator] = {}
-        self._lock = threading.RLock()
+        #: method -> (estimator, its call lock).  Published copy-on-write:
+        #: lookups read the attribute without locking; inserts (under the
+        #: prepare lock) replace the whole dict, never mutate a published
+        #: one — so iteration in ``stats()`` can never see a resize.
+        self._estimators: Dict[str, Tuple[Estimator, threading.Lock]] = {}
+        #: Serialises lazy estimator construction (once per method).
+        self._prepare_lock = threading.Lock()
+        #: Micro-lock making request-counter increments atomic; snapshots
+        #: read without it (the key set is fixed at construction, so a
+        #: concurrent read can never see a dict resize either).
+        self._counts_lock = threading.Lock()
         self._started = time.time()
-        self._request_counts: Dict[str, int] = {}
+        self._request_counts: Dict[str, int] = {
+            endpoint: 0 for endpoint in self.ENDPOINTS
+        }
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -180,12 +215,22 @@ class ReliabilityService:
         return self.cache_dir is not None
 
     def close(self) -> None:
-        """Release the persistent cache connection (writes are durable)."""
-        with self._lock:
-            self._closed = True
-            close = getattr(self._cache, "close", None)
-            if close is not None:
-                close()
+        """Release the persistent cache connection (writes are durable).
+
+        Does not wait for in-flight requests (the PR 4 close did, as a
+        side effect of the global lock): a request still running when
+        the sidecar closes finishes correctly — its estimates are
+        computed and returned — but its late cache writes are silently
+        skipped (the disabled-persistence path), so those queries are
+        not warm on disk for the next process.  Acceptable by the cache
+        contract (an accelerator, never a correctness dependency);
+        callers that need every write durable stop accepting requests
+        before closing, as ``serve()`` does via ``server_close()``.
+        """
+        self._closed = True
+        close = getattr(self._cache, "close", None)
+        if close is not None:
+            close()  # the cache serialises itself against in-flight I/O
 
     def __enter__(self) -> "ReliabilityService":
         return self
@@ -235,17 +280,40 @@ class ReliabilityService:
     def estimator(self, method: str) -> Estimator:
         """The service's long-lived estimator for ``method``.
 
-        Built (and :meth:`~Estimator.prepare`-d) on first use under the
-        service lock, then reused: ProbTree's FWD index and BFS
-        Sharing's world index amortise across every later request.
+        Built (and :meth:`~Estimator.ensure_prepared`-d) on first use
+        under the prepare lock, then reused: ProbTree's FWD index and
+        BFS Sharing's world index amortise across every later request.
+        Callers that *invoke* the returned (stateful) instance from
+        concurrent threads must hold its call lock — the service's own
+        request paths go through :meth:`_estimator_entry` for exactly
+        that.
         """
-        with self._lock:
-            cached = self._estimators.get(method)
-            if cached is None:
-                cached = self.create_estimator(method)
-                cached.prepare()
-                self._estimators[method] = cached
-            return cached
+        return self._estimator_entry(method)[0]
+
+    def _estimator_entry(
+        self, method: str
+    ) -> Tuple[Estimator, threading.Lock]:
+        """``(estimator, call lock)`` for ``method``, building lazily.
+
+        Double-checked: the common case reads the copy-on-write map with
+        no lock at all; a miss takes the prepare lock, re-checks, builds
+        and prepares once, and publishes a *new* map.  The per-method
+        call lock serialises access to the estimator's mutable state
+        (scratch arrays, ProbTree's lift LRU, instrumentation) without
+        ever serialising two different methods against each other.
+        """
+        entry = self._estimators.get(method)
+        if entry is None:
+            with self._prepare_lock:
+                entry = self._estimators.get(method)
+                if entry is None:
+                    built = self.create_estimator(method)
+                    built.ensure_prepared()
+                    entry = (built, threading.Lock())
+                    published = dict(self._estimators)
+                    published[method] = entry
+                    self._estimators = published
+        return entry
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -303,10 +371,11 @@ class ReliabilityService:
         return self.seed if seed is None else int(seed)
 
     def _count(self, endpoint: str) -> None:
-        with self._lock:
-            self._request_counts[endpoint] = (
-                self._request_counts.get(endpoint, 0) + 1
-            )
+        # The micro-lock makes the read-modify-write atomic; it is never
+        # held across estimator or engine work, so counting can never
+        # block (or be blocked by) a running request.
+        with self._counts_lock:
+            self._request_counts[endpoint] += 1
 
     def _engine(
         self,
@@ -355,17 +424,23 @@ class ReliabilityService:
         self._check_node(request.target, "target")
         self._check_positive(request.samples, "samples")
         seed = self._resolve_seed(request.seed)
-        with self._lock:
-            if cls.uses_index and seed != self.seed:
-                estimator = self.create_estimator(request.method, seed=seed)
-            else:
-                estimator = self.estimator(request.method)
+        rng = stable_substream(seed, request.source, request.target)
+        if cls.uses_index and seed != self.seed:
+            # A request-seeded index estimator is private to this request
+            # — nothing is shared, so it runs with no lock at all.
+            estimator = self.create_estimator(request.method, seed=seed)
             value = estimator.estimate(
-                request.source,
-                request.target,
-                request.samples,
-                rng=stable_substream(seed, request.source, request.target),
+                request.source, request.target, request.samples, rng=rng
             )
+        else:
+            # The long-lived instance is stateful (scratch arrays, lift
+            # LRU); its call lock serialises this method only — requests
+            # for other methods, and every engine run, proceed alongside.
+            estimator, call_lock = self._estimator_entry(request.method)
+            with call_lock:
+                value = estimator.estimate(
+                    request.source, request.target, request.samples, rng=rng
+                )
         self._count("estimate")
         return EstimateResponse(
             source=request.source,
@@ -441,24 +516,28 @@ class ReliabilityService:
                 "engine; use method 'mc' or 'bfs_sharing'"
             )
         seed = self._resolve_seed(request.seed)
-        with self._lock:
-            if engine_backed:
-                chunk_size = (
-                    self.chunk_size
-                    if request.chunk_size is None
-                    else request.chunk_size
-                )
-                engine = self._engine(seed, chunk_size, request.workers)
-                result = (
-                    engine.run_sequential(queries)
-                    if request.sequential
-                    else engine.run(queries)
-                )
-                mode = "sequential" if request.sequential else "shared_worlds"
-                report = self._engine_report(mode, result, chunk_size)
-                rows = self._rows_from_result(result)
-            else:
-                estimator = self.estimator(request.method)
+        if engine_backed:
+            # The parallel fast path: a fresh per-request engine, run
+            # under no lock whatsoever.  Concurrent requests share only
+            # the thread-safe result cache, and the determinism contract
+            # makes the interleaving invisible in every estimate.
+            chunk_size = (
+                self.chunk_size
+                if request.chunk_size is None
+                else request.chunk_size
+            )
+            engine = self._engine(seed, chunk_size, request.workers)
+            result = (
+                engine.run_sequential(queries)
+                if request.sequential
+                else engine.run(queries)
+            )
+            mode = "sequential" if request.sequential else "shared_worlds"
+            report = self._engine_report(mode, result, chunk_size)
+            rows = self._rows_from_result(result)
+        else:
+            estimator, call_lock = self._estimator_entry(request.method)
+            with call_lock:
                 if batch_path == "bag_grouped":
                     estimates = estimator.estimate_batch(
                         queries,
@@ -470,24 +549,26 @@ class ReliabilityService:
                 else:
                     estimates = estimator.estimate_batch(queries, seed=seed)
                     mode = "per_query_loop"
+                # Instrumentation must be read before the lock drops, or
+                # a neighbouring request could overwrite it.
                 inner = estimator.last_batch_result
-                report = (
-                    EngineReport(mode=mode)
-                    if inner is None
-                    else self._engine_report(mode, inner, None)
+            report = (
+                EngineReport(mode=mode)
+                if inner is None
+                else self._engine_report(mode, inner, None)
+            )
+            rows = tuple(
+                QueryResult(
+                    source=source,
+                    target=target,
+                    samples=samples,
+                    max_hops=max_hops,
+                    estimate=float(estimate),
                 )
-                rows = tuple(
-                    QueryResult(
-                        source=source,
-                        target=target,
-                        samples=samples,
-                        max_hops=max_hops,
-                        estimate=float(estimate),
-                    )
-                    for (source, target, samples, max_hops), estimate in zip(
-                        queries, estimates
-                    )
+                for (source, target, samples, max_hops), estimate in zip(
+                    queries, estimates
                 )
+            )
         self._count("batch")
         return BatchResponse(
             method=request.method,
@@ -549,9 +630,11 @@ class ReliabilityService:
             request.queries, request.samples, request.max_hops
         )
         seed = self._resolve_seed(request.seed)
-        with self._lock:
-            engine = self._engine(seed, request.chunk_size, request.workers)
-            result = engine.run(queries)
+        # Unlocked like every engine run; the engine writes the whole
+        # warmed workload through the cache's batched ``put_many`` path —
+        # one sidecar transaction however many queries were warmed.
+        engine = self._engine(seed, request.chunk_size, request.workers)
+        result = engine.run(queries)
         self._count("warm")
         return WarmResponse(
             query_count=len(queries),
@@ -580,15 +663,16 @@ class ReliabilityService:
         self._check_positive(request.k, "k")
         self._check_positive(request.samples, "samples")
         seed = self._resolve_seed(request.seed)
-        with self._lock:
-            ranking = top_k_reliable_targets(
-                self.graph,
-                request.source,
-                request.k,
-                samples=request.samples,
-                method=request.method,
-                rng=seed,
-            )
+        # Builds all of its state per call (its own estimator, its own
+        # RNG), so it shares nothing and needs no lock.
+        ranking = top_k_reliable_targets(
+            self.graph,
+            request.source,
+            request.k,
+            samples=request.samples,
+            method=request.method,
+            rng=seed,
+        )
         self._count("topk")
         return TopKResponse(
             source=request.source,
@@ -603,10 +687,9 @@ class ReliabilityService:
         """Polynomial-time lower/upper bracket for one (source, target)."""
         self._check_node(request.source, "source")
         self._check_node(request.target, "target")
-        with self._lock:
-            lower, upper = reliability_bounds(
-                self.graph, request.source, request.target
-            )
+        lower, upper = reliability_bounds(  # pure per-call: no lock
+            self.graph, request.source, request.target
+        )
         self._count("bounds")
         return BoundsResponse(
             source=request.source,
@@ -682,20 +765,33 @@ class ReliabilityService:
         }
 
     def stats(self) -> Dict[str, object]:
-        """Service-lifetime counters for the ``/v1/stats`` endpoint."""
-        with self._lock:
-            return {
-                "dataset": self.dataset_key,
-                "scale": self.scale,
-                "seed": self.seed,
-                "nodes": int(self.graph.node_count),
-                "edges": int(self.graph.edge_count),
-                "uptime_seconds": round(time.time() - self._started, 3),
-                "persistent": self.persistent,
-                "requests": dict(self._request_counts),
-                "estimators_loaded": sorted(self._estimators),
-                "cache": self._cache.statistics(),
-            }
+        """Service-lifetime counters for the ``/v1/stats`` endpoint.
+
+        Takes no *service* lock: the counter dict never resizes (its key
+        set is fixed at construction) and the estimator map is
+        copy-on-write, so a snapshot never waits on a running request's
+        estimator or engine.  The one lock it does touch is the cache's
+        internal one for the statistics read, which can briefly wait out
+        an in-flight write transaction (and, on a persistent cache,
+        flushes pending recency ticks) — milliseconds under load, versus
+        the old behaviour of queueing behind entire engine runs.
+        """
+        return {
+            "dataset": self.dataset_key,
+            "scale": self.scale,
+            "seed": self.seed,
+            "nodes": int(self.graph.node_count),
+            "edges": int(self.graph.edge_count),
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "persistent": self.persistent,
+            "requests": {
+                endpoint: count
+                for endpoint, count in self._request_counts.items()
+                if count
+            },
+            "estimators_loaded": sorted(self._estimators),
+            "cache": self._cache.statistics(),
+        }
 
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "FAST_BATCH_PATHS", "ReliabilityService"]

@@ -256,7 +256,34 @@ class Estimator(abc.ABC):
         return results
 
     def prepare(self) -> None:
-        """Build any offline index.  Default: nothing to do."""
+        """(Re)build any offline index.  Default: nothing to do.
+
+        Calling ``prepare`` on an already-prepared estimator rebuilds the
+        index (index estimators draw it from their RNG, so a rebuild may
+        differ); callers that only need the index to *exist* — e.g. a
+        service lazily preparing under a lock — use
+        :meth:`ensure_prepared` instead.
+        """
+
+    @property
+    def prepared(self) -> bool:
+        """Whether the offline phase has run.
+
+        Index estimators override this to report whether their index is
+        built; it is the guard :meth:`ensure_prepared` keys off, so
+        double-checked preparation never rebuilds (and re-randomises) a
+        live index.  The base class cannot tell — a subclass may
+        override :meth:`prepare` without overriding this property — so
+        it answers ``False``, the fail-safe direction: the worst case is
+        a redundant ``prepare()`` call (a no-op without an offline
+        phase), never a skipped build.
+        """
+        return False
+
+    def ensure_prepared(self) -> None:
+        """Run :meth:`prepare` unless the index is known to be built."""
+        if not self.prepared:
+            self.prepare()
 
     def memory_bytes(self) -> int:
         """Approximate online working-set size in bytes (paper §3.6).

@@ -237,6 +237,10 @@ class BFSSharingEstimator(Estimator):
         assert self._index is not None
         return self._index
 
+    @property
+    def prepared(self) -> bool:
+        return self._index is not None
+
     def prepare(self) -> None:
         """Build the offline index (O(K m) sampling, paper Fig. 13a)."""
         self._index = BFSSharingIndex(self.graph, self.capacity, self._rng)

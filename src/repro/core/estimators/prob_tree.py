@@ -84,6 +84,9 @@ BagEdge = Tuple[int, int, float, Optional[int]]
 
 EstimatorFactory = Callable[[UncertainGraph], Estimator]
 
+#: One lift-cache value: ``(assembled query graph, node renumbering)``.
+LiftedEntry = Tuple[UncertainGraph, Dict[int, int]]
+
 
 @dataclass
 class Bag:
@@ -464,7 +467,7 @@ class ProbTreeEstimator(Estimator):
         #: pure function of the (immutable) index and the key, so reuse
         #: is exact.  Shared by the per-query and batch paths; cleared
         #: whenever the index is (re)built.
-        self._lift_cache: "OrderedDict[Tuple[int, int], Tuple[UncertainGraph, Dict[int, int]]]" = (
+        self._lift_cache: "OrderedDict[Tuple[int, int], LiftedEntry]" = (
             OrderedDict()
         )
         self.lift_cache_hits = 0
@@ -476,6 +479,10 @@ class ProbTreeEstimator(Estimator):
             self.prepare()
         assert self._index is not None
         return self._index
+
+    @property
+    def prepared(self) -> bool:
+        return self._index is not None
 
     def prepare(self) -> None:
         """Build the FWD index (linear-time offline phase, Fig. 13a)."""

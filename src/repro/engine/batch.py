@@ -185,7 +185,11 @@ class BatchEngine:
         determinism contract.
     cache:
         A shared :class:`ResultCache`; by default each engine owns one of
-        ``DEFAULT_CACHE_CAPACITY`` entries.
+        ``DEFAULT_CACHE_CAPACITY`` entries.  The cache is internally
+        thread-safe, so many engines — one per concurrently served
+        request — may share a single instance; exact keys make the
+        sharing value-transparent (two engines that race on a key write
+        the same float).
     cache_dir:
         Convenience for persistence: when given (and ``cache`` is not),
         the engine opens the :class:`~repro.engine.cache.
@@ -460,11 +464,16 @@ class BatchEngine:
                     sweeps += chunk_sweeps
             worlds = k_needed
             unique_estimates[pending] = hits[pending] / budgets[pending]
-            for index in np.nonzero(pending)[0]:
-                self.cache.put(
+            # One batched write for the whole run: the persistent cache
+            # turns this into a single transaction (one fsync total,
+            # however many queries the sweep resolved).
+            self.cache.put_many(
+                (
                     self._query_key(plan.queries[index]),
                     float(unique_estimates[index]),
                 )
+                for index in np.nonzero(pending)[0]
+            )
 
         return BatchResult(
             queries=tuple(plan.queries[i] for i in plan.assignment),

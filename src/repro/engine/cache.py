@@ -25,6 +25,34 @@ warm-starts from disk and answers repeated queries with **zero** world
 evaluations.  Because the key is exact (see above), persistence cannot
 change any estimate — a disk hit replays the very number a fresh
 evaluation would produce, across processes and machines alike.
+
+Thread safety
+-------------
+Both caches are safe to share across threads: every public method runs
+under one internal lock, so concurrent engines (the serving layer runs
+one engine per HTTP request against the service's shared cache) can get,
+put, and read statistics without corrupting the LRU order or overlapping
+statements on the shared SQLite connection.  The lock is held for memory
+operations and SQLite statement batches (at most one ``put_many``
+transaction) — never while sampling worlds — so it serialises
+bookkeeping and result I/O, not computation.
+Exactness makes write races benign by construction: two threads that
+miss the same key compute the *same* float, so whichever ``put`` lands
+last changes nothing.
+
+Write batching — two different knobs, one transaction discipline:
+
+* :meth:`PersistentResultCache.put_many` writes a whole workload's
+  results in **one** transaction (one fsync instead of one per row);
+  the batch engine and ``ReliabilityService.warm()`` route every
+  multi-result write through it.
+* Disk-hit recency (the ``touched`` tick that orders the disk LRU) is
+  *deferred*: hits accumulate in memory and flush every
+  ``touch_flush_every`` hits, on any write, on ``statistics()``, and on
+  ``close()`` — instead of paying one UPDATE+commit per hit.  Recency
+  may therefore lag the truth by at most ``touch_flush_every`` hits
+  (and another process sees it only after a flush), which can never
+  change a served value — only disk-LRU eviction order.
 """
 
 from __future__ import annotations
@@ -32,9 +60,10 @@ from __future__ import annotations
 import hashlib
 import os
 import sqlite3
+import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.graph import UncertainGraph
 from repro.util.validation import check_positive
@@ -51,6 +80,10 @@ DEFAULT_CACHE_CAPACITY = 4096
 #: Default bound on sidecar rows; far above any benchmark workload, small
 #: enough that the file stays a few megabytes at worst.
 DEFAULT_DISK_CAPACITY = 65536
+
+#: How many deferred disk-hit recency updates accumulate before they are
+#: flushed in one transaction (see the module docstring's batching notes).
+DEFAULT_TOUCH_FLUSH_EVERY = 64
 
 #: The sidecar filename used when callers hand over a *directory*
 #: (``repro batch --cache-dir``): one file can hold results for any
@@ -109,6 +142,11 @@ class ResultCache:
     ``get`` promotes hits to most-recently-used; ``put`` evicts the least
     recently used entry once ``capacity`` is exceeded.  Hit/miss counters
     feed the engine's :class:`~repro.engine.batch.BatchResult` report.
+
+    Safe for concurrent use: one internal lock covers every public
+    method, so threads sharing a cache can never corrupt the LRU order
+    (``OrderedDict`` is not thread-safe on its own) or lose counter
+    increments.  Subclasses reuse the same lock for their extra state.
     """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
@@ -116,15 +154,57 @@ class ResultCache:
         self._entries: "OrderedDict[ResultKey, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Guards the LRU, the counters, and (in the persistent subclass)
+        #: the SQLite connection.  Plain (non-reentrant) lock: public
+        #: methods acquire it exactly once and delegate to ``*_locked``
+        #: internals, which must never re-acquire.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ResultKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: ResultKey) -> Optional[float]:
         """Return the cached estimate for ``key`` or ``None`` (counted)."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def put(self, key: ResultKey, value: float) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+        with self._lock:
+            self._put_locked(key, value)
+
+    def put_many(self, items: Iterable[Tuple[ResultKey, float]]) -> None:
+        """Insert a batch of results under one lock acquisition.
+
+        The in-memory LRU gains nothing from batching beyond fewer lock
+        round-trips; the persistent subclass overrides the disk half to
+        write the whole batch in a single SQLite transaction (one fsync
+        instead of one per row), which is what makes warming N queries
+        O(1) commits.
+        """
+        with self._lock:
+            for key, value in items:
+                self._put_locked(key, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def statistics(self) -> Dict[str, int]:
+        """Counters for reports: size, capacity, hits, misses."""
+        with self._lock:
+            return self._statistics_locked()
+
+    # ------------------------------------------------------------------
+    # Lock-free internals (callers hold self._lock)
+    # ------------------------------------------------------------------
+
+    def _get_locked(self, key: ResultKey) -> Optional[float]:
         value = self._entries.get(key)
         if value is None:
             self.misses += 1
@@ -133,18 +213,13 @@ class ResultCache:
         self.hits += 1
         return value
 
-    def put(self, key: ResultKey, value: float) -> None:
-        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+    def _put_locked(self, key: ResultKey, value: float) -> None:
         self._entries[key] = float(value)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def statistics(self) -> Dict[str, int]:
-        """Counters for reports: size, capacity, hits, misses."""
+    def _statistics_locked(self) -> Dict[str, int]:
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
@@ -177,9 +252,10 @@ class PersistentResultCache(ResultCache):
     """A :class:`ResultCache` backed by a SQLite sidecar file.
 
     Layered lookup: the in-memory LRU first (free), then the sidecar (one
-    indexed SELECT); disk hits are promoted into memory.  Writes go
-    through to both layers immediately, so a crash after ``put`` loses
-    nothing and concurrent processes see each other's results.
+    indexed SELECT); disk hits are promoted into memory.  Result writes go
+    through to both layers before ``put`` returns, so a crash after
+    ``put`` loses nothing and concurrent processes see each other's
+    results; only disk-hit *recency* is deferred (see below).
 
     Failure containment — the sidecar is an *accelerator*, never a
     correctness dependency:
@@ -198,9 +274,18 @@ class PersistentResultCache(ResultCache):
     least-recently-touched rows are deleted.  A result served purely from
     the memory layer does not refresh its disk recency — keeping the hot
     path free of write traffic — so disk LRU order follows disk activity,
-    which is what governs warm starts.  Seeds are stored as TEXT because
-    engine seeds span the full unsigned 64-bit range, which SQLite's
-    signed INTEGER cannot hold.
+    which is what governs warm starts.  Disk-hit ticks are *batched*:
+    they accumulate in memory and flush in one transaction every
+    ``touch_flush_every`` hits (and on every write, ``statistics()``, and
+    ``close()``), so a read-heavy serving workload pays one fsync per
+    batch instead of one per hit.  Pending ticks are always applied
+    before eviction runs, so deferral never evicts a just-hit row.
+    Seeds are stored as TEXT because engine seeds span the full unsigned
+    64-bit range, which SQLite's signed INTEGER cannot hold.
+
+    Thread safety: inherited — the base lock additionally guards the
+    SQLite connection (opened with ``check_same_thread=False``), so HTTP
+    handler threads and the main thread interleave statements safely.
     """
 
     def __init__(
@@ -208,12 +293,19 @@ class PersistentResultCache(ResultCache):
         path: Union[str, Path],
         capacity: int = DEFAULT_CACHE_CAPACITY,
         disk_capacity: int = DEFAULT_DISK_CAPACITY,
+        touch_flush_every: int = DEFAULT_TOUCH_FLUSH_EVERY,
     ) -> None:
         super().__init__(capacity)
         self.path = Path(path)
         self.disk_capacity = check_positive(disk_capacity, "disk_capacity")
+        self.touch_flush_every = check_positive(
+            touch_flush_every, "touch_flush_every"
+        )
         self.disk_hits = 0
         self._tick = 0
+        #: Deferred disk-hit recency updates: key -> latest tick.  A dict
+        #: (not a list) so a key hit twice between flushes costs one row.
+        self._pending_touches: Dict[ResultKey, int] = {}
         #: Upper bound on the sidecar's row count, maintained locally so
         #: eviction does not pay a full-table COUNT per put: +1 per
         #: insert (REPLACEs overcount, which is safe), re-synced with the
@@ -246,10 +338,8 @@ class PersistentResultCache(ResultCache):
         # check_same_thread=False: the serving layer opens the cache on
         # the main thread and touches it from HTTP handler threads.
         # SQLite connections tolerate cross-thread use as long as calls
-        # never overlap, and every caller serialises access — the
-        # ReliabilityService under its request lock, a bare BatchEngine
-        # by being single-threaded (workers fan out *chunk evaluation*
-        # only; the parent alone owns the cache).
+        # never overlap, which the cache's own lock now guarantees —
+        # every statement runs inside a ``self._lock`` critical section.
         connection = sqlite3.connect(
             self.path, timeout=_SQLITE_TIMEOUT, check_same_thread=False
         )
@@ -278,7 +368,7 @@ class PersistentResultCache(ResultCache):
         except OSError:
             pass
 
-    def _disable(self) -> None:
+    def _disable_locked(self) -> None:
         """Stop touching the sidecar after a runtime failure."""
         if self._connection is not None:
             try:
@@ -286,10 +376,22 @@ class PersistentResultCache(ResultCache):
             except sqlite3.Error:
                 pass
             self._connection = None
+        self._pending_touches.clear()
 
     def close(self) -> None:
-        """Release the SQLite connection (all writes are already durable)."""
-        self._disable()
+        """Flush deferred recency, then release the SQLite connection.
+
+        Result rows themselves are already durable (every put commits);
+        only the batched ``touched`` ticks need the final flush.
+        """
+        with self._lock:
+            self._flush_touches_locked(commit=True)
+            self._disable_locked()
+
+    def flush(self) -> None:
+        """Make deferred disk-hit recency visible to other processes."""
+        with self._lock:
+            self._flush_touches_locked(commit=True)
 
     # ------------------------------------------------------------------
     # Layered get / write-through put
@@ -297,25 +399,37 @@ class PersistentResultCache(ResultCache):
 
     def get(self, key: ResultKey) -> Optional[float]:
         """Memory first, then the sidecar; disk hits are promoted."""
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
-        value = self._disk_get(key)
-        if value is not None:
-            self.hits += 1
-            self.disk_hits += 1
-            super().put(key, value)  # promote into the memory LRU only
-            return value
-        self.misses += 1
-        return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            value = self._disk_get_locked(key)
+            if value is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._put_locked(key, value)  # promote into memory only
+                return value
+            self.misses += 1
+            return None
 
     def put(self, key: ResultKey, value: float) -> None:
-        super().put(key, value)
-        self._disk_put(key, float(value))
+        with self._lock:
+            self._put_locked(key, value)
+            self._disk_put_locked([(key, float(value))])
 
-    def _disk_get(self, key: ResultKey) -> Optional[float]:
+    def put_many(self, items: Iterable[Tuple[ResultKey, float]]) -> None:
+        """Write a whole batch in one transaction (one fsync total)."""
+        with self._lock:
+            rows = []
+            for key, value in items:
+                self._put_locked(key, value)
+                rows.append((key, float(value)))
+            if rows:
+                self._disk_put_locked(rows)
+
+    def _disk_get_locked(self, key: ResultKey) -> Optional[float]:
         if self._connection is None:
             return None
         fingerprint, source, target, samples, seed, max_hops = key
@@ -326,42 +440,79 @@ class PersistentResultCache(ResultCache):
                 "AND max_hops = ?",
                 (fingerprint, source, target, samples, str(seed), max_hops),
             ).fetchone()
-            if row is None:
-                return None
-            self._tick += 1
-            self._connection.execute(
+        except sqlite3.Error:
+            self._disable_locked()
+            return None
+        if row is None:
+            return None
+        # Defer the recency write: record the tick now (ordering stays
+        # exact), flush it with the next batch instead of paying an
+        # UPDATE+commit on every disk hit.
+        self._tick += 1
+        self._pending_touches[key] = self._tick
+        if len(self._pending_touches) >= self.touch_flush_every:
+            self._flush_touches_locked(commit=True)
+        return float(row[0])
+
+    def _flush_touches_locked(self, commit: bool) -> None:
+        """Apply deferred recency ticks (optionally committing)."""
+        if self._connection is None or not self._pending_touches:
+            self._pending_touches.clear()
+            return
+        rows = [
+            (
+                tick, fingerprint, source, target, samples, str(seed),
+                max_hops,
+            )
+            for (
+                fingerprint, source, target, samples, seed, max_hops
+            ), tick in self._pending_touches.items()
+        ]
+        try:
+            self._connection.executemany(
                 "UPDATE results SET touched = ? WHERE fingerprint = ? AND "
                 "source = ? AND target = ? AND samples = ? AND seed = ? "
                 "AND max_hops = ?",
-                (
-                    self._tick, fingerprint, source, target, samples,
-                    str(seed), max_hops,
-                ),
+                rows,
             )
-            self._connection.commit()
-            return float(row[0])
+            if commit:
+                self._connection.commit()
         except sqlite3.Error:
-            self._disable()
-            return None
+            self._disable_locked()
+            return
+        self._pending_touches.clear()
 
-    def _disk_put(self, key: ResultKey, value: float) -> None:
+    def _disk_put_locked(
+        self, rows: Iterable[Tuple[ResultKey, float]]
+    ) -> None:
+        """Insert ``rows`` and commit once (plus any deferred touches)."""
         if self._connection is None:
             return
-        fingerprint, source, target, samples, seed, max_hops = key
-        self._tick += 1
         try:
-            self._connection.execute(
-                "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?, ?, ?, "
-                "?, ?)",
-                (
-                    fingerprint, source, target, samples, str(seed),
-                    max_hops, value, self._tick,
-                ),
-            )
-            self._row_bound += 1  # REPLACE overcounts; resync below fixes it
+            # Pending recency rides along in the same transaction: the
+            # commit is being paid anyway, and eviction below must see
+            # true recency before it picks victims.
+            self._flush_touches_locked(commit=False)
+            if self._connection is None:  # the flush hit an error
+                return
+            inserted = 0
+            for key, value in rows:
+                fingerprint, source, target, samples, seed, max_hops = key
+                self._tick += 1
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?, ?, "
+                    "?, ?, ?)",
+                    (
+                        fingerprint, source, target, samples, str(seed),
+                        max_hops, value, self._tick,
+                    ),
+                )
+                inserted += 1
+            # REPLACEs overcount the bound; the resync below fixes it.
+            self._row_bound += inserted
             if self._row_bound > self.disk_capacity:
-                overflow = self._disk_size() - self.disk_capacity
-                if self._connection is None:  # _disk_size hit an error
+                overflow = self._disk_size_locked() - self.disk_capacity
+                if self._connection is None:  # the COUNT hit an error
                     return
                 if overflow > 0:
                     self._connection.execute(
@@ -373,9 +524,14 @@ class PersistentResultCache(ResultCache):
                     self._row_bound = self.disk_capacity
             self._connection.commit()
         except sqlite3.Error:
-            self._disable()
+            self._disable_locked()
 
     def _disk_size(self) -> int:
+        """True sidecar row count, as a standalone (locking) call."""
+        with self._lock:
+            return self._disk_size_locked()
+
+    def _disk_size_locked(self) -> int:
         """True sidecar row count (one COUNT; also resyncs the bound)."""
         if self._connection is None:
             return 0
@@ -385,23 +541,28 @@ class PersistentResultCache(ResultCache):
                 .fetchone()[0]
             )
         except sqlite3.Error:
-            self._disable()
+            self._disable_locked()
             return 0
         self._row_bound = count
         return count
 
     def statistics(self) -> Dict[str, int]:
         """Base counters plus the sidecar's size, hits, and health."""
-        stats = super().statistics()
-        stats.update(
-            {
-                "disk_hits": self.disk_hits,
-                "disk_size": self._disk_size(),
-                "disk_capacity": self.disk_capacity,
-                "persistent": not self.disabled,
-            }
-        )
-        return stats
+        with self._lock:
+            # Reporting is a natural flush point: cheap, rare, and it
+            # keeps cross-process recency from lagging indefinitely on
+            # read-only workloads.
+            self._flush_touches_locked(commit=True)
+            stats = self._statistics_locked()
+            stats.update(
+                {
+                    "disk_hits": self.disk_hits,
+                    "disk_size": self._disk_size_locked(),
+                    "disk_capacity": self.disk_capacity,
+                    "persistent": not self.disabled,
+                }
+            )
+            return stats
 
 
 def open_result_cache(
@@ -425,6 +586,7 @@ def open_result_cache(
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_DISK_CAPACITY",
+    "DEFAULT_TOUCH_FLUSH_EVERY",
     "RESULT_CACHE_FILENAME",
     "UNBOUNDED_HOPS",
     "ResultKey",

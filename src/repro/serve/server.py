@@ -24,14 +24,19 @@ paths 404, wrong verbs 405, and unexpected exceptions a minimal 500
 (details stay server-side).
 
 Concurrency: :class:`ThreadingHTTPServer` handles each connection on its
-own thread; the service's internal lock serialises estimator/engine
-access, and the engine's determinism contract makes concurrent identical
-requests **bit-identical** (property-tested in ``tests/serve``).
+own thread, and the service's fine-grained locking lets those threads
+actually proceed in parallel — engine-backed requests run completely
+unlocked against the shared thread-safe result cache, stats/health
+snapshots never wait on a running engine, and only calls into one shared
+stateful estimator serialise (per method).  The engine's determinism
+contract makes concurrent identical requests **bit-identical** however
+the threads interleave (hammer-tested in ``tests/serve``).
 """
 
 from __future__ import annotations
 
 import json
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -64,7 +69,19 @@ class ReliabilityHTTPServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
+        """A *routable* base URL for this server.
+
+        A server bound to a wildcard address reports that address back
+        (``0.0.0.0`` / ``::``), which no client can connect to — so the
+        URL substitutes the loopback host.  Operators reaching the
+        server from elsewhere use the machine's real address; this
+        property is what banners, tests, and local tooling dial.
+        """
         host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::", ""):
+            host = "127.0.0.1"
+        elif ":" in host:  # any other IPv6 literal needs brackets
+            host = f"[{host}]"
         return f"http://{host}:{port}"
 
 
@@ -81,24 +98,50 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
     #: The GET-only endpoints (POST routes live in :meth:`_post_routes`).
     _GET_PATHS = ("/v1/health", "/v1/stats")
 
+    @property
+    def route_path(self) -> str:
+        """``self.path`` with the query string (and fragment) stripped.
+
+        Routing must match on the path alone: ``GET /v1/health?verbose=1``
+        is a request *to* ``/v1/health``, not to a different resource —
+        matching the raw target 404'd any URL that carried a query.
+        (Query parameters themselves are accepted and ignored; no
+        endpoint defines any yet.)
+        """
+        path = self.path.partition("?")[0]
+        return path.partition("#")[0]
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         service = self.server.service
-        if self.path == "/v1/health":
-            self._send_json(200, service.health())
-        elif self.path == "/v1/stats":
-            self._send_json(200, service.stats())
-        elif self.path in self._post_routes():
+        path = self.route_path
+        payload = None
+        try:
+            # Only the *service* calls live inside the containment: a
+            # failed send must propagate to socketserver as ever (writing
+            # a 500 onto a socket that just broke mid-response would only
+            # raise again from the handler).
+            if path == "/v1/health":
+                payload = service.health()
+            elif path == "/v1/stats":
+                payload = service.stats()
+        except Exception:  # noqa: BLE001 — same containment as do_POST
+            self._send_internal_error("GET", path)
+            return
+        if payload is not None:
+            self._send_json(200, payload)
+        elif path in self._post_routes():
             self._send_method_not_allowed("POST")
         else:
-            self._send_json(404, _error_body("not found", self.path))
+            self._send_json(404, _error_body("not found", path))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
-        handler = self._post_routes().get(self.path)
+        path = self.route_path
+        handler = self._post_routes().get(path)
         if handler is None:
-            if self.path in self._GET_PATHS:
+            if path in self._GET_PATHS:
                 self._send_method_not_allowed("GET")
             else:
-                self._send_json(404, _error_body("not found", self.path))
+                self._send_json(404, _error_body("not found", path))
             return
         try:
             payload = self._read_json()
@@ -106,18 +149,36 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
         except ReliabilityError as error:
             self._send_json(error.http_status, {"error": error.to_dict()})
         except Exception:  # noqa: BLE001 — the transport must not die
-            self._send_json(
-                500,
-                {
-                    "error": {
-                        "type": "InternalError",
-                        "message": "internal server error",
-                    }
-                },
-            )
-            raise  # surfaces in the server log; the client got its 500
+            self._send_internal_error("POST", path)
         else:
             self._send_json(200, response)
+
+    def _send_internal_error(self, verb: str, path: str) -> None:
+        """Contain an unexpected handler failure: log, 500, close.
+
+        Log server-side and answer a minimal 500.  Re-raising (the old
+        ``do_POST`` behaviour) made socketserver tear the keep-alive
+        connection down *after* the response, with no ``Connection:
+        close`` header — clients saw resets on their next pipelined
+        request.  Close the connection explicitly (the header goes out
+        with the 500) and keep the handler thread's exit clean.
+        """
+        self.log_error(
+            "unhandled exception serving %s %s:\n%s",
+            verb,
+            path,
+            traceback.format_exc().rstrip(),
+        )
+        self.close_connection = True
+        self._send_json(
+            500,
+            {
+                "error": {
+                    "type": "InternalError",
+                    "message": "internal server error",
+                }
+            },
+        )
 
     def _post_routes(self) -> Dict[str, Callable[[Any], Dict[str, Any]]]:
         service = self.server.service
@@ -207,6 +268,12 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
+
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        # Failures are never silenced: ``quiet`` suppresses per-request
+        # access logs (log_message above), not error reports — a 500's
+        # traceback must reach the server log in every mode.
+        BaseHTTPRequestHandler.log_message(self, format, *args)
 
 
 def _error_body(message: str, path: str) -> Dict[str, Any]:

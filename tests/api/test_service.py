@@ -462,3 +462,114 @@ class TestEstimateSeedProvenance:
         )
         assert first.estimate == second.estimate
         assert "bfs_sharing" in service.stats()["estimators_loaded"]
+
+
+class TestFineGrainedLocking:
+    """The PR 5 concurrency model: independent requests truly overlap."""
+
+    def test_concurrent_methods_bit_identical_to_serial(self):
+        # Every batch path (engine, bag_grouped, fallback) and estimate,
+        # racing on one service, must equal an untouched serial service.
+        serial = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+        shared = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+        requests = [
+            ("batch", BatchRequest(queries=WORKLOAD, method="mc")),
+            ("batch", BatchRequest(queries=WORKLOAD, method="bfs_sharing")),
+            ("batch", BatchRequest(
+                queries=(QuerySpec(0, 5, 120), QuerySpec(3, 9, 120)),
+                method="prob_tree",
+            )),
+            ("batch", BatchRequest(queries=(QuerySpec(0, 5, 60),),
+                                   method="rhh")),
+            ("estimate", EstimateRequest(source=0, target=5, samples=150)),
+            ("estimate", EstimateRequest(source=3, target=9, samples=150)),
+        ]
+        expected = []
+        for kind, request in requests:
+            if kind == "batch":
+                expected.append(serial.estimate_batch(request).estimates)
+            else:
+                expected.append(serial.estimate(request).estimate)
+        serial.close()
+
+        results = [None] * len(requests)
+        errors = []
+
+        def worker(slot):
+            kind, request = requests[slot]
+            try:
+                if kind == "batch":
+                    results[slot] = shared.estimate_batch(request).estimates
+                else:
+                    results[slot] = shared.estimate(request).estimate
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shared.close()
+        assert not errors
+        assert results == expected
+
+    def test_stats_never_blocks_and_counts_exactly(self, service):
+        # Readers poll stats while writers drive requests; every
+        # snapshot must be well-formed and the final counts exact.
+        stop = threading.Event()
+        errors = []
+
+        def poll_stats():
+            try:
+                while not stop.is_set():
+                    snapshot = service.stats()
+                    assert set(snapshot["requests"]) <= set(
+                        ReliabilityService.ENDPOINTS
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def drive(_):
+            try:
+                for _ in range(4):
+                    service.estimate_batch(BatchRequest(queries=WORKLOAD))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        pollers = [threading.Thread(target=poll_stats) for _ in range(2)]
+        drivers = [
+            threading.Thread(target=drive, args=(slot,)) for slot in range(4)
+        ]
+        for thread in pollers + drivers:
+            thread.start()
+        for thread in drivers:
+            thread.join()
+        stop.set()
+        for thread in pollers:
+            thread.join()
+        assert not errors
+        assert service.stats()["requests"]["batch"] == 16
+
+    def test_estimator_built_exactly_once_under_racing_requests(self):
+        service = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+        try:
+            seen = []
+
+            def worker():
+                seen.append(service.estimator("prob_tree"))
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(set(map(id, seen))) == 1
+            assert service.stats()["estimators_loaded"] == ["prob_tree"]
+        finally:
+            service.close()

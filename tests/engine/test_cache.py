@@ -93,3 +93,85 @@ class TestResultCache:
         cache.put(result_key("fp", 0, 1, 10, 0), 0.1)
         cache.clear()
         assert len(cache) == 0
+
+    def test_put_many_equals_individual_puts(self):
+        batched = ResultCache(capacity=8)
+        looped = ResultCache(capacity=8)
+        items = [
+            (result_key("fp", 0, target, 10, 0), target / 10.0)
+            for target in range(5)
+        ]
+        batched.put_many(items)
+        for key, value in items:
+            looped.put(key, value)
+        for key, value in items:
+            assert batched.get(key) == value
+        assert len(batched) == len(looped)
+
+    def test_put_many_respects_capacity(self):
+        cache = ResultCache(capacity=3)
+        cache.put_many(
+            (result_key("fp", 0, target, 10, 0), 0.5) for target in range(9)
+        )
+        assert len(cache) == 3
+
+
+class TestThreadSafety:
+    """The cache is shared by one engine per concurrently served request."""
+
+    def test_concurrent_gets_and_puts_stay_consistent(self):
+        import threading
+
+        cache = ResultCache(capacity=64)
+        keys = [result_key("fp", 0, target, 100, 7) for target in range(32)]
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for round_number in range(300):
+                    key = keys[(worker + round_number) % len(keys)]
+                    value = cache.get(key)
+                    # Exactness: a present value is always the right one.
+                    if value is not None and value != key[2] / 32.0:
+                        errors.append((key, value))
+                    cache.put(key, key[2] / 32.0)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        stats = cache.statistics()
+        assert stats["hits"] + stats["misses"] == 8 * 300
+
+    def test_concurrent_eviction_pressure_keeps_the_bound(self):
+        import threading
+
+        cache = ResultCache(capacity=4)  # far below the working set
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for round_number in range(200):
+                    key = result_key("fp", worker, round_number, 10, 0)
+                    cache.put(key, 0.5)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 4

@@ -273,3 +273,216 @@ class TestEngineIntegration:
         )
         assert engine.cache is cache
         assert not (tmp_path / "cache").exists()
+
+
+class CountingConnection:
+    """Delegating proxy that counts commits (sqlite3 methods are C-locked)."""
+
+    def __init__(self, connection):
+        self._inner = connection
+        self.commits = 0
+
+    def commit(self):
+        self.commits += 1
+        return self._inner.commit()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def counting(cache) -> CountingConnection:
+    proxy = CountingConnection(cache._connection)
+    cache._connection = proxy
+    return proxy
+
+
+class TestBatchedWrites:
+    def test_put_many_commits_once(self, cache_dir):
+        cache = open_result_cache(cache_dir)
+        connection = counting(cache)
+        cache.put_many(
+            (result_key("fp", 0, target, 100, 7), target / 32.0)
+            for target in range(32)
+        )
+        assert connection.commits == 1
+        assert cache._disk_size() == 32
+        cache.close()
+        reopened = open_result_cache(cache_dir)
+        for target in range(32):
+            assert (
+                reopened.get(result_key("fp", 0, target, 100, 7))
+                == target / 32.0
+            )
+
+    def test_individual_puts_still_commit_each(self, cache_dir):
+        # Durability contract: a crash after put() loses nothing.
+        cache = open_result_cache(cache_dir)
+        connection = counting(cache)
+        for target in range(4):
+            cache.put(result_key("fp", 0, target, 100, 7), 0.5)
+        assert connection.commits == 4
+
+    def test_empty_put_many_touches_nothing(self, cache_dir):
+        cache = open_result_cache(cache_dir)
+        connection = counting(cache)
+        cache.put_many([])
+        assert connection.commits == 0
+
+
+class TestBatchedTouches:
+    def test_disk_hits_defer_their_recency_commit(self, cache_dir):
+        writer = open_result_cache(cache_dir)
+        keys = [result_key("fp", 0, target, 100, 7) for target in range(8)]
+        writer.put_many((key, 0.5) for key in keys)
+        writer.close()
+
+        reader = PersistentResultCache(
+            sidecar_of(cache_dir), touch_flush_every=64
+        )
+        connection = counting(reader)
+        for key in keys:
+            assert reader.get(key) == 0.5  # all disk hits
+        # The legacy behaviour paid one UPDATE+commit per hit; deferral
+        # pays none until a flush point.
+        assert connection.commits == 0
+        assert len(reader._pending_touches) == 8
+        reader.close()  # the final flush happens here
+        assert not reader._pending_touches
+
+    def test_touch_threshold_triggers_a_flush(self, cache_dir):
+        writer = open_result_cache(cache_dir)
+        keys = [result_key("fp", 0, target, 100, 7) for target in range(6)]
+        writer.put_many((key, 0.25) for key in keys)
+        writer.close()
+
+        reader = PersistentResultCache(
+            sidecar_of(cache_dir), touch_flush_every=3
+        )
+        connection = counting(reader)
+        for key in keys:
+            assert reader.get(key) == 0.25
+        assert connection.commits == 2  # 6 hits / threshold 3
+        assert not reader._pending_touches
+
+    def test_deferred_touches_survive_close(self, cache_dir):
+        # Recency written only at close must still order eviction in the
+        # next process: the closed reader's disk hit keeps its row alive.
+        cache = PersistentResultCache(
+            sidecar_of(cache_dir), capacity=64, disk_capacity=3
+        )
+        keys = [result_key("fp", 0, target, 100, 7) for target in range(3)]
+        for offset, key in enumerate(keys):
+            cache.put(key, offset / 4.0)
+        cache.close()
+
+        toucher = PersistentResultCache(
+            sidecar_of(cache_dir), capacity=64, disk_capacity=3
+        )
+        assert toucher.get(keys[0]) == 0.0  # deferred disk-hit tick
+        toucher.close()  # tick flushed here, not at hit time
+
+        # keys[0] is now the most recently touched row on disk.
+        evictor = PersistentResultCache(
+            sidecar_of(cache_dir), capacity=64, disk_capacity=3
+        )
+        evictor.put(result_key("fp", 0, 99, 100, 7), 0.99)
+        evictor.close()
+        survivor = open_result_cache(cache_dir)
+        assert survivor.get(keys[0]) == 0.0
+        assert survivor.get(keys[1]) is None  # the true LRU was evicted
+
+    def test_statistics_flushes_pending_recency(self, cache_dir):
+        writer = open_result_cache(cache_dir)
+        key = result_key("fp", 0, 1, 100, 7)
+        writer.put(key, 0.5)
+        writer.close()
+        reader = open_result_cache(cache_dir)
+        assert reader.get(key) == 0.5
+        assert reader._pending_touches
+        reader.statistics()
+        assert not reader._pending_touches
+
+
+class TestThreadSafety:
+    """One sidecar, many handler threads — the serving layer's shape."""
+
+    def test_threaded_hammer_never_corrupts_or_disables(self, cache_dir):
+        cache = PersistentResultCache(
+            sidecar_of(cache_dir), capacity=32, touch_flush_every=5
+        )
+        keys = [result_key("fp", 0, target, 100, 7) for target in range(24)]
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for round_number in range(120):
+                    key = keys[(worker * 7 + round_number) % len(keys)]
+                    value = cache.get(key)
+                    if value is not None and value != key[2] / 24.0:
+                        errors.append(("wrong value", key, value))
+                    cache.put(key, key[2] / 24.0)
+                    if round_number % 40 == 0:
+                        cache.statistics()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not cache.disabled
+        stats = cache.statistics()
+        assert stats["persistent"] is True
+        assert stats["disk_size"] == len(keys)
+        cache.close()
+        # Every value survived the stampede bit-exactly.
+        reopened = open_result_cache(cache_dir)
+        for key in keys:
+            assert reopened.get(key) == key[2] / 24.0
+
+    def test_concurrent_put_many_batches_interleave_safely(self, cache_dir):
+        cache = open_result_cache(cache_dir)
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                cache.put_many(
+                    (result_key("fp", worker, target, 100, 7), 0.5)
+                    for target in range(50)
+                )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not cache.disabled
+        assert cache._disk_size() == 300
+
+    def test_flush_publishes_recency_without_closing(self, cache_dir):
+        # flush() is the on-demand flush point for operators that want
+        # cross-process recency visibility from a still-open cache.
+        writer = open_result_cache(cache_dir)
+        key = result_key("fp", 0, 1, 100, 7)
+        writer.put(key, 0.5)
+        writer.close()
+        reader = open_result_cache(cache_dir)
+        connection = counting(reader)
+        assert reader.get(key) == 0.5
+        assert reader._pending_touches
+        reader.flush()
+        assert not reader._pending_touches
+        assert connection.commits == 1
+        assert not reader.disabled  # still open and serving
+        assert reader.get(key) == 0.5

@@ -1,0 +1,252 @@
+"""The serving concurrency hammer (PR 5 acceptance).
+
+Fine-grained locking is only worth having if it is invisible in the
+numbers: N threads issuing mixed ``/v1/estimate``, ``/v1/batch``, and
+``/v1/stats`` requests against one ``repro serve`` process must receive
+estimates **bit-identical** to sequential execution at the same seed,
+with no deadlock and no cache corruption.  Two hammers enforce it:
+
+* a subprocess hammer against the real ``repro serve`` process (the
+  acceptance criterion, verbatim);
+* an in-process hammer against a persistent-cache server, which
+  additionally reopens the SQLite sidecar afterwards and checks every
+  row survived the stampede bit-exactly.
+
+The sequential oracles are computed from the building blocks, not from
+the server: :meth:`BatchEngine.run_sequential` for workloads (the
+engine's per-query loop over the same world stream) and the historical
+``stable_substream(seed, s, t)`` protocol for single estimates.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import ReliabilityService
+from repro.core.registry import create_estimator
+from repro.datasets.suite import load_dataset
+from repro.engine.batch import BatchEngine
+from repro.serve import create_server
+from repro.util.rng import stable_substream
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SEED = 3
+
+#: The two batch workloads the hammer interleaves (distinct cache keys).
+BATCH_BODIES = (
+    {"queries": [[0, 5, 200], [3, 9, 150], [0, 7, 100, 2]]},
+    {"queries": [[1, 6, 160], [2, 8, 120]]},
+)
+
+#: The single-estimate requests the hammer interleaves.
+ESTIMATE_BODIES = (
+    {"source": 0, "target": 5, "samples": 150},
+    {"source": 3, "target": 9, "samples": 120},
+)
+
+
+def sequential_batch_oracle(graph):
+    """Per-body estimates from the engine's sequential per-query loop."""
+    oracles = []
+    for body in BATCH_BODIES:
+        result = BatchEngine(graph, seed=SEED).run_sequential(
+            [tuple(query) for query in body["queries"]]
+        )
+        oracles.append([float(estimate) for estimate in result.estimates])
+    return oracles
+
+
+def sequential_estimate_oracle(graph):
+    """Per-body estimates via the historical single-query protocol."""
+    estimator = create_estimator("mc", graph, seed=SEED)
+    return [
+        float(
+            estimator.estimate(
+                body["source"],
+                body["target"],
+                body["samples"],
+                rng=stable_substream(SEED, body["source"], body["target"]),
+            )
+        )
+        for body in ESTIMATE_BODIES
+    ]
+
+
+def http_post(url, path, body):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def http_get(url, path):
+    with urllib.request.urlopen(url + path, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def run_hammer(url, batch_expected, estimate_expected, rounds=3):
+    """Drive mixed clients at ``url``; return the list of failures."""
+    failures = []
+    barrier = threading.Barrier(10)
+
+    def batch_client(slot):
+        barrier.wait(timeout=60)
+        body = BATCH_BODIES[slot % len(BATCH_BODIES)]
+        expected = batch_expected[slot % len(BATCH_BODIES)]
+        for _ in range(rounds):
+            payload = http_post(url, "/v1/batch", body)
+            got = [row["estimate"] for row in payload["results"]]
+            if got != expected:
+                failures.append(("batch", slot, got, expected))
+
+    def estimate_client(slot):
+        barrier.wait(timeout=60)
+        body = ESTIMATE_BODIES[slot % len(ESTIMATE_BODIES)]
+        expected = estimate_expected[slot % len(ESTIMATE_BODIES)]
+        for _ in range(rounds):
+            payload = http_post(url, "/v1/estimate", body)
+            if payload["estimate"] != expected:
+                failures.append(
+                    ("estimate", slot, payload["estimate"], expected)
+                )
+
+    def stats_client(slot):
+        barrier.wait(timeout=60)
+        for _ in range(rounds * 4):
+            payload = http_get(url, "/v1/stats")
+            if "requests" not in payload or "cache" not in payload:
+                failures.append(("stats", slot, payload))
+
+    workers = (
+        [
+            threading.Thread(target=batch_client, args=(slot,))
+            for slot in range(4)
+        ]
+        + [
+            threading.Thread(target=estimate_client, args=(slot,))
+            for slot in range(4)
+        ]
+        + [
+            threading.Thread(target=stats_client, args=(slot,))
+            for slot in range(2)
+        ]
+    )
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=300)
+    stuck = [worker for worker in workers if worker.is_alive()]
+    if stuck:  # pragma: no cover - deadlock diagnostics
+        failures.append(("deadlock", f"{len(stuck)} workers never finished"))
+    return failures
+
+
+class TestServeProcessHammer:
+    """The acceptance hammer: 10 mixed clients, one real serve process."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + environment["PYTHONPATH"]
+            if environment.get("PYTHONPATH")
+            else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--dataset", "lastfm",
+             "--scale", "tiny", "--seed", str(SEED), "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=environment,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://\S+", banner)
+            assert match, f"no URL in serve banner: {banner!r}"
+            yield match.group(0)
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+    def test_mixed_hammer_bit_identical_to_sequential(self, served):
+        graph = load_dataset("lastfm", "tiny", SEED).graph
+        failures = run_hammer(
+            served,
+            sequential_batch_oracle(graph),
+            sequential_estimate_oracle(graph),
+        )
+        assert not failures
+
+        # No cache corruption: the whole workload replays from cache.
+        for body in BATCH_BODIES:
+            payload = http_post(served, "/v1/batch", body)
+            assert payload["engine"]["worlds_sampled"] == 0
+        # Counters survived the stampede (4 batch + 4 estimate clients x
+        # 3 rounds, plus the 2 replays above).
+        stats = http_get(served, "/v1/stats")
+        assert stats["requests"]["batch"] == 4 * 3 + len(BATCH_BODIES)
+        assert stats["requests"]["estimate"] == 4 * 3
+
+
+class TestInProcessPersistentHammer:
+    """Same hammer over a sidecar-backed server, then audit the sidecar."""
+
+    def test_hammer_leaves_an_exact_reusable_sidecar(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        service = ReliabilityService.from_dataset(
+            "lastfm", "tiny", seed=SEED, cache_dir=cache_dir
+        )
+        http_server = create_server(service, port=0)
+        thread = threading.Thread(
+            target=http_server.serve_forever, daemon=True
+        )
+        thread.start()
+        graph = service.graph
+        try:
+            failures = run_hammer(
+                http_server.url,
+                sequential_batch_oracle(graph),
+                sequential_estimate_oracle(graph),
+                rounds=2,
+            )
+            assert not failures
+            stats = http_get(http_server.url, "/v1/stats")
+            assert stats["cache"]["persistent"] is True
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+        # A fresh service over the surviving sidecar answers the whole
+        # workload without sampling a single world — and bit-identically.
+        from repro.api import BatchRequest, QuerySpec
+
+        with ReliabilityService.from_dataset(
+            "lastfm", "tiny", seed=SEED, cache_dir=cache_dir
+        ) as reopened:
+            for body, expected in zip(
+                BATCH_BODIES, sequential_batch_oracle(graph)
+            ):
+                response = reopened.estimate_batch(
+                    BatchRequest(
+                        queries=tuple(
+                            QuerySpec(*query) for query in body["queries"]
+                        )
+                    )
+                )
+                assert response.engine.worlds_sampled == 0
+                assert [
+                    row.estimate for row in response.results
+                ] == expected

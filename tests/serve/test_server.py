@@ -391,3 +391,117 @@ class TestPersistentCacheAcrossThreads:
                 )
             )
             assert response.engine.worlds_sampled == 0
+
+
+class TestQueryStringRouting:
+    """GET routing matches the path, not the raw request target."""
+
+    def test_health_with_query_string(self, server):
+        status, payload = get(server, "/v1/health?verbose=1")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_stats_with_query_string(self, server):
+        status, payload = get(server, "/v1/stats?pretty=1&x=2")
+        assert status == 200
+        assert "requests" in payload
+
+    def test_post_endpoint_with_query_string(self, server):
+        status, payload = post(
+            server, "/v1/estimate?trace=1",
+            {"source": 0, "target": 5, "samples": 50},
+        )
+        assert status == 200
+        assert 0.0 <= payload["estimate"] <= 1.0
+
+    def test_unknown_path_with_query_string_still_404s(self, server):
+        status, payload = get(server, "/v1/nope?x=1")
+        assert status == 404
+        # The error names the path, not the query.
+        assert payload["error"]["message"].endswith("/v1/nope")
+
+
+class TestWildcardBindUrl:
+    def test_url_substitutes_loopback_for_wildcard_host(self):
+        service = ReliabilityService.from_dataset("lastfm", "tiny", seed=3)
+        http_server = create_server(service, host="0.0.0.0", port=0)
+        thread = threading.Thread(
+            target=http_server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            assert http_server.url.startswith("http://127.0.0.1:")
+            status, payload = get(http_server, "/v1/health")
+            assert status == 200
+            assert payload["status"] == "ok"
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=5)
+
+
+class TestInternalErrorPath:
+    """An unexpected exception answers a clean 500 and closes cleanly."""
+
+    def test_500_closes_the_connection_and_keeps_serving(
+        self, server, monkeypatch
+    ):
+        import http.client
+
+        def explode(request):
+            raise RuntimeError("synthetic failure for the 500 path")
+
+        monkeypatch.setattr(server.service, "estimate", explode)
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            body = json.dumps(
+                {"source": 0, "target": 5, "samples": 10}
+            ).encode("utf-8")
+            connection.request(
+                "POST", "/v1/estimate", body,
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 500
+            assert payload["error"]["type"] == "InternalError"
+            # The handler cannot resume keep-alive after an arbitrary
+            # failure; it must *say so* instead of resetting the socket.
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+        monkeypatch.undo()
+        # The server survived and serves fresh connections.
+        status, payload = get(server, "/v1/health")
+        assert status == 200
+        status, payload = post(
+            server, "/v1/estimate", {"source": 0, "target": 5, "samples": 50}
+        )
+        assert status == 200
+
+    def test_get_500_closes_the_connection_and_keeps_serving(
+        self, server, monkeypatch
+    ):
+        import http.client
+
+        def explode():
+            raise RuntimeError("synthetic failure for the GET 500 path")
+
+        monkeypatch.setattr(server.service, "stats", explode)
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request("GET", "/v1/stats")
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 500
+            assert payload["error"]["type"] == "InternalError"
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+        monkeypatch.undo()
+        status, payload = get(server, "/v1/stats")
+        assert status == 200
+        assert "requests" in payload
