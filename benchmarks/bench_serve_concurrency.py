@@ -25,6 +25,11 @@ Two sections, both over real sockets against in-process servers:
   clients hammer.  Under the global lock a snapshot waits for whatever
   engine run holds it; lock-free counters answer in microseconds
   regardless of what else is in flight.
+* ``pool_scaling`` — the PR 6 shared worker pool: one server per worker
+  count (``REPRO_SERVE_POOL_WORKERS``, default ``1,2``), same clients;
+  bit identity across counts is asserted unconditionally, the
+  ``REPRO_SERVE_POOL_FLOOR`` scaling floor only on hosts with enough
+  cores to show parallelism.
 
 Asserted: bit-identical responses between both servers, and >= 1.5x
 served throughput (the committed JSON records the measured figure; the
@@ -72,6 +77,18 @@ SERVE_SOURCES = int(os.environ.get("REPRO_SERVE_SOURCES", "4"))
 SERVE_SPEEDUP_FLOOR = float(
     os.environ.get("REPRO_SERVE_SPEEDUP_FLOOR", "1.5")
 )
+#: Worker counts for the ``pool_scaling`` section; 1 is the serial
+#: baseline and is always prepended.
+POOL_WORKER_COUNTS = [
+    int(part)
+    for part in os.environ.get("REPRO_SERVE_POOL_WORKERS", "1,2").split(",")
+    if part.strip()
+] or [1, 2]
+if POOL_WORKER_COUNTS[0] != 1:
+    POOL_WORKER_COUNTS.insert(0, 1)
+#: Scaling floor asserted at the largest worker count when the host has
+#: at least that many cores; ``0`` records without asserting.
+POOL_SPEEDUP_FLOOR = float(os.environ.get("REPRO_SERVE_POOL_FLOOR", "1.2"))
 
 JSON_OUTPUT = OUTPUT_DIRECTORY / "serve_concurrency.json"
 
@@ -319,4 +336,85 @@ def test_served_concurrency_speedup():
         assert speedup >= SERVE_SPEEDUP_FLOOR, (
             f"fine-grained serving only {speedup:.2f}x over the single "
             f"lock (floor {SERVE_SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_pool_scaling():
+    """Served throughput vs worker-pool size (the PR 6 tentpole).
+
+    One server per worker count, each driven by the same concurrent
+    batch clients.  ``workers=1`` runs every sweep in the handler
+    thread; ``workers=N`` attaches the service's one shared
+    :class:`~repro.engine.pool.WorkerPool`, pre-forked with the graph
+    loaded, so requests dispatch ``(chunk_start, count)`` tasks instead
+    of re-forking per request.  Bit identity across all worker counts is
+    asserted unconditionally (the engine's determinism contract); the
+    throughput *scaling* floor only when the host has the cores to show
+    it — a single-core runner can demonstrate correctness, not
+    parallelism.
+    """
+    graph = load_dataset(SERVE_DATASET, SERVE_SCALE, SERVE_SEED).graph
+    node_count = graph.node_count
+    request_count = SERVE_CLIENTS * SERVE_ROUNDS
+    # Chunks small enough that one request fans out across the pool.
+    chunk_size = max(1, SERVE_K // 4)
+
+    reference = None
+    rows = []
+    serial_seconds = None
+    for workers in POOL_WORKER_COUNTS:
+        service = ReliabilityService.from_dataset(
+            SERVE_DATASET, SERVE_SCALE, seed=SERVE_SEED,
+            workers=workers, chunk_size=chunk_size,
+        )
+        server, thread = _run_server(service)
+        try:
+            seconds, responses = _drive(server.url, node_count, [])
+            pool_stats = service.stats()["pool"]
+        finally:
+            _shutdown(server, thread, service)
+        if reference is None:
+            reference = responses
+            serial_seconds = seconds
+        else:
+            # Worker count cannot change a bit of any response.
+            assert responses == reference
+            # The shared pool — not per-request forking — did the work.
+            assert pool_stats is not None and pool_stats["runs"] > 0
+        rows.append({
+            "workers": workers,
+            "seconds": round(seconds, 4),
+            "requests_per_second": round(request_count / seconds, 3),
+            "speedup_vs_serial": round(serial_seconds / seconds, 3),
+            "pool_runs": None if pool_stats is None else pool_stats["runs"],
+        })
+
+    _JSON_PAYLOAD["pool_scaling"] = {
+        "requests": request_count,
+        "chunk_size": chunk_size,
+        "rows": rows,
+        "bit_identical": True,
+    }
+    _write_json()
+
+    lines = [
+        "worker-pool scaling: "
+        f"{SERVE_CLIENTS} concurrent /v1/batch clients x {SERVE_ROUNDS} "
+        f"rounds, {SERVE_QUERIES} queries/request, K={SERVE_K}, "
+        f"chunk={chunk_size}, {SERVE_DATASET}/{SERVE_SCALE}, "
+        f"{os.cpu_count()} core(s)",
+    ] + [
+        f"  workers={row['workers']:<2d}: {row['seconds']:8.3f} s "
+        f"({row['requests_per_second']:6.2f} req/s, "
+        f"{row['speedup_vs_serial']:.2f}x, bit-identical)"
+        for row in rows
+    ]
+    emit("\n".join(lines), "serve_concurrency.txt")
+
+    cores = os.cpu_count() or 1
+    top = rows[-1]
+    if POOL_SPEEDUP_FLOOR > 0 and cores >= top["workers"]:
+        assert top["speedup_vs_serial"] >= POOL_SPEEDUP_FLOOR, (
+            f"pooled serving only {top['speedup_vs_serial']:.2f}x at "
+            f"{top['workers']} workers (floor {POOL_SPEEDUP_FLOOR}x)"
         )

@@ -88,12 +88,20 @@ from repro.core.graph import UncertainGraph
 from repro.core.recommend import recommend_estimator
 from repro.core.registry import create_estimator as _registry_create
 from repro.core.registry import display_name, estimator_class
-from repro.engine.batch import DEFAULT_CHUNK_SIZE, BatchEngine, BatchResult
+from repro.engine.batch import (
+    DEFAULT_CHUNK_SIZE,
+    KERNEL_MODES,
+    BatchEngine,
+    BatchResult,
+    resolve_kernels,
+    resolve_workers,
+)
 from repro.engine.cache import (
     DEFAULT_CACHE_CAPACITY,
     ResultCache,
     open_result_cache,
 )
+from repro.engine.pool import WorkerPool
 from repro.queries.top_k import top_k_reliable_targets
 from repro.util.rng import stable_substream
 
@@ -121,6 +129,20 @@ class ReliabilityService:
         warm-starts from disk.  ``None`` keeps an in-memory LRU only.
     chunk_size / workers:
         Engine defaults for requests that do not override them.
+    kernels:
+        Default sweep kernels (``"python"`` or ``"vectorized"``, see
+        :mod:`repro.engine.kernels`) for served engine runs; a request
+        may override per call.  Bit-identical either way.
+
+    Multi-process requests share **one** long-lived
+    :class:`~repro.engine.pool.WorkerPool`: the first engine run that
+    fans out forks the workers (graph shipped once, at fork), and every
+    later run — any request thread, any seed — dispatches its
+    ``(chunk_start, count)`` tasks to the same processes instead of
+    re-forking and re-pickling the graph per request.  The pool dies
+    with the service (:meth:`close`); a run that catches the pool
+    closing falls back to the per-run fork, so shutdown never corrupts
+    an in-flight request.
     """
 
     #: Every counted endpoint, fixed so the counter dict never resizes.
@@ -135,6 +157,7 @@ class ReliabilityService:
         cache_dir: Optional[str] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
+        kernels: Optional[str] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         if not isinstance(graph, UncertainGraph):
@@ -154,6 +177,15 @@ class ReliabilityService:
                 f"chunk_size must be a positive integer, got {chunk_size}"
             )
         self.workers = workers
+        if kernels is not None and kernels not in KERNEL_MODES:
+            raise InvalidQueryError(
+                f"unknown kernel mode {kernels!r}; "
+                f"known: {', '.join(KERNEL_MODES)}"
+            )
+        self.kernels = kernels
+        #: The one shared worker pool (lazily built by :meth:`_engine`).
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
         self._cache: ResultCache = (
             open_result_cache(self.cache_dir, capacity=cache_capacity)
             if self.cache_dir is not None
@@ -228,6 +260,12 @@ class ReliabilityService:
         before closing, as ``serve()`` does via ``server_close()``.
         """
         self._closed = True
+        pool = self._pool
+        if pool is not None:
+            # Waits for running chunk tasks, cancels queued ones; a run
+            # mid-dispatch sees PoolClosedError and falls back to its
+            # per-run fork, so its estimates still come out correct.
+            pool.close()
         close = getattr(self._cache, "close", None)
         if close is not None:
             close()  # the cache serialises itself against in-flight I/O
@@ -377,23 +415,50 @@ class ReliabilityService:
         with self._counts_lock:
             self._request_counts[endpoint] += 1
 
+    def _shared_pool(self, workers: int) -> WorkerPool:
+        """The service's one worker pool, built on first multi-worker run.
+
+        Sized by the first run that needs it (the service-level
+        ``workers`` when set); later runs share it whatever their own
+        ``workers`` value — pool size is a wall-clock lever, and the
+        determinism contract keeps every interleaving bit-identical.
+        Construction forks nothing (the pool starts lazily).
+        """
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = WorkerPool(self.graph, workers)
+                pool = self._pool
+        return pool
+
     def _engine(
         self,
         seed: int,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
+        kernels: Optional[str] = None,
     ) -> BatchEngine:
         """An engine over the service's graph sharing the service cache.
 
         Engines are cheap (the graph fingerprint is memoised); the
-        expensive state — sampled results — lives in the shared cache,
-        which is what a long-lived service actually amortises.
+        expensive state — sampled results and forked workers — lives in
+        the shared cache and the shared pool, which is what a
+        long-lived service actually amortises.
         """
+        resolved = resolve_workers(
+            self.workers if workers is None else workers
+        )
+        pool = None
+        if resolved > 1 and not self._closed:
+            pool = self._shared_pool(resolved)
         return BatchEngine(
             self.graph,
             seed=seed,
             chunk_size=self.chunk_size if chunk_size is None else chunk_size,
-            workers=self.workers if workers is None else workers,
+            workers=resolved,
+            kernels=self.kernels if kernels is None else kernels,
+            pool=pool,
             cache=self._cache,
         )
 
@@ -479,6 +544,18 @@ class ReliabilityService:
                 "'bfs_sharing', or 'prob_tree'); "
                 f"method {request.method!r} uses the per-query loop"
             )
+        if request.kernels is not None:
+            if request.kernels not in KERNEL_MODES:
+                raise InvalidQueryError(
+                    f"unknown kernel mode {request.kernels!r}; "
+                    f"known: {', '.join(KERNEL_MODES)}"
+                )
+            if not engine_backed:
+                raise InvalidQueryError(
+                    "kernels selects the engine's sweep implementation; "
+                    "it applies only to the engine-backed methods "
+                    "('mc', 'bfs_sharing')"
+                )
         if request.sequential and self.persistent:
             raise InvalidQueryError(
                 "the sequential oracle bypasses the result cache by "
@@ -526,7 +603,9 @@ class ReliabilityService:
                 if request.chunk_size is None
                 else request.chunk_size
             )
-            engine = self._engine(seed, chunk_size, request.workers)
+            engine = self._engine(
+                seed, chunk_size, request.workers, request.kernels
+            )
             result = (
                 engine.run_sequential(queries)
                 if request.sequential
@@ -791,7 +870,17 @@ class ReliabilityService:
             },
             "estimators_loaded": sorted(self._estimators),
             "cache": self._cache.statistics(),
+            # None until the first multi-worker engine run builds the
+            # shared pool; the pool's own counters are lock-free reads.
+            "pool": (
+                None if self._pool is None else self._pool.statistics()
+            ),
         }
 
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "FAST_BATCH_PATHS", "ReliabilityService"]
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "FAST_BATCH_PATHS",
+    "KERNEL_MODES",
+    "ReliabilityService",
+]

@@ -223,11 +223,12 @@ class BatchRequest:
     max_hops: Optional[int] = None
     chunk_size: Optional[int] = None
     workers: Optional[int] = None
+    kernels: Optional[str] = None
     sequential: bool = False
 
     _KEYS = (
         "queries", "method", "samples", "seed", "max_hops",
-        "chunk_size", "workers", "sequential",
+        "chunk_size", "workers", "kernels", "sequential",
     )
 
     @classmethod
@@ -246,6 +247,11 @@ class BatchRequest:
             raise InvalidQueryError(
                 f"sequential must be a boolean, got {sequential!r}"
             )
+        kernels = payload.get("kernels")
+        if kernels is not None and not isinstance(kernels, str):
+            raise InvalidQueryError(
+                f"kernels must be a string, got {kernels!r}"
+            )
         return cls(
             queries=coerce_query_specs(payload["queries"]),
             method=method,
@@ -254,6 +260,7 @@ class BatchRequest:
             max_hops=_optional_int(payload.get("max_hops"), "max_hops"),
             chunk_size=_optional_int(payload.get("chunk_size"), "chunk_size"),
             workers=_optional_int(payload.get("workers"), "workers"),
+            kernels=kernels,
             sequential=sequential,
         )
 
@@ -266,6 +273,7 @@ class BatchRequest:
             "max_hops": self.max_hops,
             "chunk_size": self.chunk_size,
             "workers": self.workers,
+            "kernels": self.kernels,
             "sequential": self.sequential,
         }
 

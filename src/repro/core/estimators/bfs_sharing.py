@@ -306,6 +306,7 @@ class BFSSharingEstimator(Estimator):
         seed: Optional[int] = None,
         chunk_size: Optional[int] = None,
         workers: Optional[int] = None,
+        kernels: Optional[str] = None,
         cache_dir: Optional[str] = None,
     ) -> np.ndarray:
         """Shared-world fast path: the packed index built from engine chunks.
@@ -345,7 +346,7 @@ class BFSSharingEstimator(Estimator):
         """
         return run_engine_batch(
             self, queries, seed=seed, chunk_size=chunk_size,
-            workers=workers, cache_dir=cache_dir,
+            workers=workers, kernels=kernels, cache_dir=cache_dir,
         )
 
     def memory_bytes(self) -> int:

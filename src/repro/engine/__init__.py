@@ -11,10 +11,13 @@ results.  See ``docs/architecture.md`` for the design and
 
 from repro.engine.batch import (
     DEFAULT_CHUNK_SIZE,
+    KERNEL_MODES,
+    KERNELS_ENV_VAR,
     WORKERS_ENV_VAR,
     BatchEngine,
     BatchResult,
     estimate_workload,
+    resolve_kernels,
     resolve_workers,
 )
 from repro.engine.cache import (
@@ -26,14 +29,29 @@ from repro.engine.cache import (
 )
 from repro.engine.parallel import ParallelBatchEngine, default_worker_count
 from repro.engine.plan import BatchQuery, QueryPlan, plan_queries
+from repro.engine.pool import (
+    POOL_ENV_VAR,
+    PoolClosedError,
+    WorkerPool,
+    pool_enabled,
+    shared_pool,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "KERNEL_MODES",
+    "KERNELS_ENV_VAR",
+    "POOL_ENV_VAR",
     "WORKERS_ENV_VAR",
     "BatchEngine",
     "BatchResult",
+    "PoolClosedError",
+    "WorkerPool",
     "estimate_workload",
+    "pool_enabled",
+    "resolve_kernels",
     "resolve_workers",
+    "shared_pool",
     "PersistentResultCache",
     "ResultCache",
     "graph_fingerprint",

@@ -78,6 +78,13 @@ from repro.engine.cache import (
     open_result_cache,
     result_key,
 )
+from repro.engine.kernels import (
+    KERNEL_MODES,
+    KERNELS_ENV_VAR,
+    reach_targets_in_world,
+    resolve_kernels,
+    shared_fixpoint_vectorized,
+)
 from repro.engine.plan import BatchQuery, QueryLike, plan_queries
 from repro.util import bitset
 from repro.util.rng import stable_substream
@@ -183,6 +190,20 @@ class BatchEngine:
         (:mod:`repro.engine.parallel`) and the per-query hit counts are
         summed in the parent — bit-identical to the serial sweep by the
         determinism contract.
+    kernels:
+        ``"python"`` (the historical per-node loops) or ``"vectorized"``
+        (the frontier-bulk kernels of :mod:`repro.engine.kernels`).
+        ``None`` reads ``REPRO_ENGINE_KERNELS`` (default ``"python"``).
+        Both kernel sets compute the identical fixpoint, so estimates
+        are bit-identical either way (the kernel conformance suite pins
+        this); the knob is purely a constant-factor lever.
+    pool:
+        A long-lived :class:`~repro.engine.pool.WorkerPool` to evaluate
+        fanned-out chunk ranges on, instead of forking a fresh pool per
+        run.  ``None`` (default) falls back to the per-run fork — unless
+        ``REPRO_ENGINE_POOL`` is set, in which case runs borrow the
+        process-wide shared pool for this graph.  A closed pool is
+        treated as "no pool" (the run falls back), never as an error.
     cache:
         A shared :class:`ResultCache`; by default each engine owns one of
         ``DEFAULT_CACHE_CAPACITY`` entries.  The cache is internally
@@ -207,6 +228,8 @@ class BatchEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         sweep: str = "bitset",
         workers: Optional[int] = None,
+        kernels: Optional[str] = None,
+        pool=None,
         cache: Optional[ResultCache] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         cache_dir: Optional[str] = None,
@@ -222,6 +245,8 @@ class BatchEngine:
             )
         self.sweep = sweep
         self.workers = resolve_workers(workers)
+        self.kernels = resolve_kernels(kernels)
+        self.pool = pool
         if cache is None:
             cache = (
                 open_result_cache(cache_dir, capacity=cache_capacity)
@@ -287,6 +312,11 @@ class BatchEngine:
         """
         edge_bits = bitset.pack_bool_matrix(masks)
         words = edge_bits.shape[1]
+        fixpoint = (
+            shared_fixpoint_vectorized
+            if self.kernels == "vectorized"
+            else shared_reachability_fixpoint
+        )
         mask_by_limit: Dict[int, np.ndarray] = {}
 
         def budget_mask(limit: int) -> np.ndarray:
@@ -304,7 +334,7 @@ class BatchEngine:
             live = pending[group.query_indices] & (live_counts > 0)
             if not live.any():
                 continue
-            node_bits, _ = shared_reachability_fixpoint(
+            node_bits, _ = fixpoint(
                 self.graph, edge_bits, group.source, count,
                 max_hops=group.max_hops,
             )
@@ -328,20 +358,29 @@ class BatchEngine:
         hits: np.ndarray,
     ) -> int:
         """Per-world sweep: one fused-kernel walk per (world, group)."""
+        vectorized = self.kernels == "vectorized"
         sweeps = 0
         for offset in range(count):
             world = chunk_start + offset
-            forced = forced_from_mask(masks[offset])
+            # The vectorized walk consumes the boolean mask directly; the
+            # python kernel wants the ±1 forced-state encoding.
+            forced = None if vectorized else forced_from_mask(masks[offset])
             for group in groups:
                 if world >= group.k_max:
                     continue
                 live = pending[group.query_indices] & (group.samples > world)
                 if not live.any():
                     continue
-                reached = self._sampler.reach_targets(
-                    group.source, group.targets[live], forced=forced,
-                    max_hops=group.max_hops,
-                )
+                if vectorized:
+                    reached = reach_targets_in_world(
+                        self.graph, masks[offset], group.source,
+                        group.targets[live], max_hops=group.max_hops,
+                    )
+                else:
+                    reached = self._sampler.reach_targets(
+                        group.source, group.targets[live], forced=forced,
+                        max_hops=group.max_hops,
+                    )
                 hits[group.query_indices[live]] += reached
                 sweeps += 1
         return sweeps
@@ -398,6 +437,21 @@ class BatchEngine:
     # Evaluation strategies
     # ------------------------------------------------------------------
 
+    def _resolve_pool(self):
+        """The pool this run's fan-out should use, if any.
+
+        An explicitly attached pool wins; otherwise ``REPRO_ENGINE_POOL``
+        borrows the process-wide shared pool for this graph (the CI
+        worker-pool leg's switch).  ``None`` means per-run forking.
+        """
+        if self.pool is not None:
+            return self.pool
+        from repro.engine.pool import pool_enabled, shared_pool
+
+        if pool_enabled():
+            return shared_pool(self.graph, self.workers)
+        return None
+
     def _query_key(self, query: BatchQuery):
         return result_key(
             self.fingerprint, query.source, query.target,
@@ -445,14 +499,30 @@ class BatchEngine:
                 (chunk_start, min(self.chunk_size, k_needed - chunk_start))
                 for chunk_start in range(0, k_needed, self.chunk_size)
             ]
+            hits = None
             if self.workers > 1 and len(tasks) > 1:
-                from repro.engine.parallel import evaluate_chunks_parallel
-
                 effective_workers = min(self.workers, len(tasks))
-                hits, sweeps = evaluate_chunks_parallel(
-                    self, tasks, groups, pending, plan.unique_count,
-                    effective_workers,
-                )
+                pool = self._resolve_pool()
+                if pool is not None:
+                    from repro.engine.pool import PoolClosedError
+
+                    try:
+                        hits, sweeps = pool.evaluate(
+                            self, tasks, groups, pending, plan.unique_count,
+                        )
+                    except PoolClosedError:
+                        # A closed pool is "no pool", not a failure: the
+                        # run falls through to the per-run fork below.
+                        hits = None
+                if hits is None:
+                    from repro.engine.parallel import (
+                        evaluate_chunks_parallel,
+                    )
+
+                    hits, sweeps = evaluate_chunks_parallel(
+                        self, tasks, groups, pending, plan.unique_count,
+                        effective_workers,
+                    )
             else:
                 hits = np.zeros(plan.unique_count, dtype=np.int64)
                 for chunk_start, count in tasks:
@@ -552,10 +622,13 @@ def estimate_workload(
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "KERNEL_MODES",
+    "KERNELS_ENV_VAR",
     "SWEEP_MODES",
     "WORKERS_ENV_VAR",
     "BatchResult",
     "BatchEngine",
     "estimate_workload",
+    "resolve_kernels",
     "resolve_workers",
 ]

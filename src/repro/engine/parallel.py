@@ -48,6 +48,7 @@ def _initialise_worker(
     seed: int,
     chunk_size: int,
     sweep: str,
+    kernels: str,
     groups,
     pending: np.ndarray,
     unique_count: int,
@@ -60,6 +61,7 @@ def _initialise_worker(
         seed=seed,
         chunk_size=chunk_size,
         sweep=sweep,
+        kernels=kernels,
         workers=1,  # workers never nest pools
         # The parent owns the real result cache — including any
         # persistent sidecar; workers never open the SQLite file, so the
@@ -102,12 +104,26 @@ def evaluate_chunks_parallel(
         initializer=_initialise_worker,
         initargs=(
             engine.graph, engine.seed, engine.chunk_size, engine.sweep,
-            groups, pending, unique_count,
+            engine.kernels, groups, pending, unique_count,
         ),
     ) as pool:
-        for chunk_hits, chunk_sweeps in pool.map(_evaluate_range, tasks):
-            hits += chunk_hits
-            sweeps += chunk_sweeps
+        futures = [pool.submit(_evaluate_range, task) for task in tasks]
+        try:
+            for future in futures:
+                chunk_hits, chunk_sweeps = future.result()
+                hits += chunk_hits
+                sweeps += chunk_sweeps
+        except BaseException:
+            # A chunk failing mid-fan-out must not strand the rest of the
+            # run: without the cancellations, the context exit's
+            # ``shutdown(wait=True)`` sat through *every* still-queued
+            # chunk before the error could propagate — on a big workload,
+            # a pool's worth of doomed work (and its worker processes)
+            # leaked past the failure for seconds.  Cancel the queue, let
+            # the context manager reap the workers, re-raise the cause.
+            for future in futures:
+                future.cancel()
+            raise
     return hits, sweeps
 
 

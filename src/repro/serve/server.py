@@ -28,9 +28,15 @@ own thread, and the service's fine-grained locking lets those threads
 actually proceed in parallel — engine-backed requests run completely
 unlocked against the shared thread-safe result cache, stats/health
 snapshots never wait on a running engine, and only calls into one shared
-stateful estimator serialise (per method).  The engine's determinism
-contract makes concurrent identical requests **bit-identical** however
-the threads interleave (hammer-tested in ``tests/serve``).
+stateful estimator serialise (per method).  When the service is
+configured with ``workers > 1`` it also owns one long-lived
+:class:`~repro.engine.pool.WorkerPool` — pre-forked with the graph
+loaded — that every served engine run shares, so multi-worker requests
+dispatch ``(chunk_start, count)`` tasks instead of re-forking and
+re-pickling the graph per request.  The engine's determinism contract
+makes concurrent identical requests **bit-identical** however the
+threads interleave or the pool schedules chunks (hammer-tested in
+``tests/serve``).
 """
 
 from __future__ import annotations

@@ -166,6 +166,62 @@ class TestFastPathDeterminism:
         assert first[0] == first[2]
 
 
+class TestKernelAndPoolConformance:
+    """PR 6: kernel choice and pooled execution cannot move an estimate.
+
+    Every engine-backed estimator path must produce bit-identical
+    estimates whether the sweep runs the per-node Python kernels or the
+    vectorized uint64 kernels, and whether chunks are evaluated
+    in-process or on a shared :class:`~repro.engine.pool.WorkerPool` —
+    the serial python-kernel run is the oracle for both axes.
+    """
+
+    @CONFORMANCE_SETTINGS
+    @given(parts=small_graph_parts)
+    def test_vectorized_kernels_agree_bitwise_on_every_engine_path(
+        self, parts
+    ):
+        graph = build(parts)
+        source, target = 0, graph.node_count - 1
+        queries = [
+            (source, target, SAMPLES),
+            (target, source, 300),
+            (source, target, 250, 2),  # hop-bounded twin
+        ]
+        oracle = BatchEngine(graph, seed=11, kernels="python").run(queries)
+        vectorized = BatchEngine(
+            graph, seed=11, kernels="vectorized"
+        ).run(queries)
+        np.testing.assert_array_equal(
+            vectorized.estimates, oracle.estimates
+        )
+        for key in ("mc", "bfs_sharing"):
+            estimator = create_estimator(key, graph, seed=0)
+            np.testing.assert_array_equal(
+                estimator.estimate_batch(
+                    queries, seed=11, kernels="vectorized"
+                ),
+                oracle.estimates,
+            )
+
+    def test_pooled_execution_agrees_bitwise(self):
+        from repro.engine.pool import WorkerPool
+        from tests.conftest import random_graph
+
+        graph = random_graph(seed=19, node_count=10, edge_probability=0.3)
+        queries = [(0, 7, 500), (1, 8, 400), (0, 7, 300, 2)]
+        oracle = BatchEngine(graph, seed=11, chunk_size=64).run(queries)
+        with WorkerPool(graph, workers=2) as pool:
+            for kernels in ("python", "vectorized"):
+                pooled = BatchEngine(
+                    graph, seed=11, chunk_size=64, workers=2,
+                    pool=pool, kernels=kernels,
+                ).run(queries)
+                np.testing.assert_array_equal(
+                    pooled.estimates, oracle.estimates
+                )
+
+
 class TestEngineConformance:
     """The batch engine is an estimator too — hold it to the same oracle."""
 
