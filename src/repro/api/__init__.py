@@ -17,11 +17,13 @@ request/response objects in this package.  Import from here::
 from repro.api.errors import (
     GraphLoadError,
     InvalidQueryError,
+    PayloadTooLargeError,
     ReliabilityError,
     UnknownEstimatorError,
 )
 from repro.api.service import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_REWARM_TOP,
     FAST_BATCH_PATHS,
     ReliabilityService,
 )
@@ -39,6 +41,8 @@ from repro.api.types import (
     RecommendResponse,
     TopKRequest,
     TopKResponse,
+    UpdateRequest,
+    UpdateResponse,
     WarmRequest,
     WarmResponse,
     coerce_query_specs,
@@ -49,7 +53,9 @@ __all__ = [
     "UnknownEstimatorError",
     "InvalidQueryError",
     "GraphLoadError",
+    "PayloadTooLargeError",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_REWARM_TOP",
     "FAST_BATCH_PATHS",
     "ReliabilityService",
     "QuerySpec",
@@ -57,6 +63,7 @@ __all__ = [
     "EstimateRequest",
     "BatchRequest",
     "WarmRequest",
+    "UpdateRequest",
     "TopKRequest",
     "BoundsRequest",
     "RecommendRequest",
@@ -65,6 +72,7 @@ __all__ = [
     "EstimateResponse",
     "BatchResponse",
     "WarmResponse",
+    "UpdateResponse",
     "TopKResponse",
     "BoundsResponse",
     "RecommendResponse",

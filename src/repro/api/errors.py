@@ -49,9 +49,20 @@ class GraphLoadError(ReliabilityError):
     """The requested graph/dataset could not be loaded or is unusable."""
 
 
+class PayloadTooLargeError(ReliabilityError):
+    """A request body larger than the serving layer accepts.
+
+    Maps onto HTTP 413 so well-behaved clients can distinguish "shrink
+    your batch" from the 400 family of malformed-request errors.
+    """
+
+    http_status = 413
+
+
 __all__ = [
     "ReliabilityError",
     "UnknownEstimatorError",
     "InvalidQueryError",
     "GraphLoadError",
+    "PayloadTooLargeError",
 ]

@@ -79,12 +79,15 @@ from repro.api.types import (
     ResolvedQuery,
     TopKRequest,
     TopKResponse,
+    UpdateRequest,
+    UpdateResponse,
     WarmRequest,
     WarmResponse,
 )
 from repro.core.bounds import reliability_bounds
 from repro.core.estimators.base import Estimator
 from repro.core.graph import UncertainGraph
+from repro.core.mutation import apply_update
 from repro.core.recommend import recommend_estimator
 from repro.core.registry import create_estimator as _registry_create
 from repro.core.registry import display_name, estimator_class
@@ -99,6 +102,7 @@ from repro.engine.batch import (
 from repro.engine.cache import (
     DEFAULT_CACHE_CAPACITY,
     ResultCache,
+    graph_fingerprint,
     open_result_cache,
 )
 from repro.engine.pool import WorkerPool
@@ -108,6 +112,15 @@ from repro.util.rng import stable_substream
 #: Batch-path tags with an engine or grouped fast path (``workers`` /
 #: ``cache_dir`` are honoured there; the per-query loop ignores both).
 FAST_BATCH_PATHS = ("engine", "bag_grouped")
+
+#: Bound on distinct keys the re-warm query log tracks.  Beyond it, new
+#: keys are dropped (never counted keys evicted): re-warming targets the
+#: *heavy hitters*, and the heavy hitters of a workload big enough to
+#: overflow this are in the log long before it fills.
+QUERY_LOG_CAPACITY = 1024
+
+#: Default number of logged keys a re-warm pass replays.
+DEFAULT_REWARM_TOP = 8
 
 
 class ReliabilityService:
@@ -146,7 +159,9 @@ class ReliabilityService:
     """
 
     #: Every counted endpoint, fixed so the counter dict never resizes.
-    ENDPOINTS = ("estimate", "batch", "warm", "topk", "bounds", "study")
+    ENDPOINTS = (
+        "estimate", "batch", "warm", "update", "topk", "bounds", "study",
+    )
 
     def __init__(
         self,
@@ -206,6 +221,16 @@ class ReliabilityService:
         self._request_counts: Dict[str, int] = {
             endpoint: 0 for endpoint in self.ENDPOINTS
         }
+        #: Serialises :meth:`update` calls — one version transition at a
+        #: time, so ``version`` and the fingerprint lineage stay linear.
+        self._update_lock = threading.Lock()
+        #: Engine-served query keys -> hit counts, feeding :meth:`rewarm`.
+        #: Guarded by the counts micro-lock (increments are cheap).
+        self._query_log: Dict[
+            Tuple[int, int, int, Optional[int], int], int
+        ] = {}
+        self._rewarm_runs = 0
+        self._rewarm_queries = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -415,21 +440,43 @@ class ReliabilityService:
         with self._counts_lock:
             self._request_counts[endpoint] += 1
 
-    def _shared_pool(self, workers: int) -> WorkerPool:
-        """The service's one worker pool, built on first multi-worker run.
+    def _shared_pool(
+        self, graph: UncertainGraph, workers: int
+    ) -> Optional[WorkerPool]:
+        """The service's one worker pool, pinned to ``graph``'s version.
 
         Sized by the first run that needs it (the service-level
         ``workers`` when set); later runs share it whatever their own
         ``workers`` value — pool size is a wall-clock lever, and the
         determinism contract keeps every interleaving bit-identical.
         Construction forks nothing (the pool starts lazily).
+
+        Workers fork with one frozen graph, so the pool is useless the
+        moment an update lands: a pool pinned to a *different*
+        fingerprint than the current service graph is swapped out and
+        closed here (the respawn half of the update lifecycle —
+        :meth:`update` does the close half for pools it retires).  A run
+        against a graph that is no longer ``self.graph`` (it resolved
+        its engine just before an update swapped versions) gets ``None``
+        and falls back to its per-run fork — stale versions never
+        recruit the shared pool.
         """
-        pool = self._pool
-        if pool is None:
-            with self._pool_lock:
-                if self._pool is None:
-                    self._pool = WorkerPool(self.graph, workers)
-                pool = self._pool
+        fingerprint = graph_fingerprint(graph)
+        stale = None
+        with self._pool_lock:
+            pool = self._pool
+            if (
+                pool is not None
+                and not pool.closed
+                and pool.fingerprint == fingerprint
+            ):
+                return pool
+            if graph is not self.graph:
+                return None
+            stale, pool = pool, WorkerPool(graph, workers)
+            self._pool = pool
+        if stale is not None:
+            stale.close()
         return pool
 
     def _engine(
@@ -445,15 +492,20 @@ class ReliabilityService:
         expensive state — sampled results and forked workers — lives in
         the shared cache and the shared pool, which is what a
         long-lived service actually amortises.
+
+        The graph is snapshot **once**: a concurrent :meth:`update`
+        swapping ``self.graph`` mid-call cannot hand this run a pool
+        forked for one version and an engine over another.
         """
+        graph = self.graph
         resolved = resolve_workers(
             self.workers if workers is None else workers
         )
         pool = None
         if resolved > 1 and not self._closed:
-            pool = self._shared_pool(resolved)
+            pool = self._shared_pool(graph, resolved)
         return BatchEngine(
-            self.graph,
+            graph,
             seed=seed,
             chunk_size=self.chunk_size if chunk_size is None else chunk_size,
             workers=resolved,
@@ -603,6 +655,7 @@ class ReliabilityService:
                 if request.chunk_size is None
                 else request.chunk_size
             )
+            self._record_queries(queries, seed)
             engine = self._engine(
                 seed, chunk_size, request.workers, request.kernels
             )
@@ -671,6 +724,7 @@ class ReliabilityService:
             seconds=round(result.seconds, 6),
             chunk_size=chunk_size,
             cache=self._cache_report(),
+            fingerprint=result.fingerprint,
         )
 
     @staticmethod
@@ -726,6 +780,158 @@ class ReliabilityService:
             persistent=self.persistent,
             cache=self._cache_report(),
         )
+
+    # ------------------------------------------------------------------
+    # update (live graph mutation) / re-warm
+    # ------------------------------------------------------------------
+
+    def update(self, request: UpdateRequest) -> UpdateResponse:
+        """Apply a live mutation, publishing a new graph *version*.
+
+        The mutation layer (:mod:`repro.core.mutation`) is copy-on-write:
+        the current graph is never touched, a successor with
+        ``version + 1`` is built instead.  Because every engine cache
+        key embeds the graph fingerprint, invalidation is *exact* by
+        construction — keys minted against the predecessor stop matching
+        new requests the instant the swap lands, while entries for any
+        untouched version keep serving warm hits (nothing is purged).
+
+        In-flight requests finish against whichever version they
+        snapshot; the estimator map is walked under the prepare lock so
+        no request can build an index against a half-swapped service.
+        Each already-built estimator chooses its cheapest survival mode
+        (``incremental`` re-lift, full ``rebuilt``, lazy ``dropped``, or
+        a plain ``repointed``), and a worker pool forked for the old
+        version is retired — the next multi-worker run respawns one
+        against the successor.
+        """
+        started = time.perf_counter()
+        with self._update_lock:
+            predecessor = self.graph
+            previous_fingerprint = graph_fingerprint(predecessor)
+            try:
+                mutation = apply_update(
+                    predecessor,
+                    set_edges=request.set_edges,
+                    remove_edges=request.remove_edges,
+                )
+            except ValueError as error:
+                raise InvalidQueryError(str(error)) from None
+            successor = mutation.graph
+            modes: Dict[str, str] = {}
+            with self._prepare_lock:
+                # Swap + estimator maintenance are one atomic step under
+                # the prepare lock: a lazy build started after this block
+                # sees the successor, one finished before it is in the
+                # map below and gets migrated.
+                self.graph = successor
+                for method, (estimator, call_lock) in sorted(
+                    self._estimators.items()
+                ):
+                    with call_lock:
+                        modes[method] = estimator.apply_update(
+                            successor,
+                            touched_edges=mutation.touched_edges,
+                            structural=mutation.structural,
+                        )
+            stale = None
+            with self._pool_lock:
+                stale, self._pool = self._pool, None
+            pool_action = "none"
+            if stale is not None:
+                # Workers hold the predecessor; close() cancels their
+                # queued chunks (in-flight runs fall back per-run) and
+                # the next multi-worker engine run forks a fresh pool
+                # pinned to the successor's fingerprint.
+                stale.close()
+                pool_action = "respawned"
+        self._count("update")
+        return UpdateResponse(
+            previous_fingerprint=previous_fingerprint,
+            fingerprint=graph_fingerprint(successor),
+            version=successor.version,
+            node_count=int(successor.node_count),
+            edge_count=int(successor.edge_count),
+            edges_set=mutation.edges_set,
+            edges_added=mutation.edges_added,
+            edges_removed=mutation.edges_removed,
+            structural=mutation.structural,
+            estimators=modes,
+            pool=pool_action,
+            seconds=round(time.perf_counter() - started, 6),
+        )
+
+    def _record_queries(
+        self, queries: List[ResolvedQuery], seed: int
+    ) -> None:
+        """Count engine-served keys for later :meth:`rewarm` replay.
+
+        The key is the full cache identity *minus* the fingerprint —
+        ``(source, target, samples, max_hops, seed)`` — so a replay
+        against a new graph version warms exactly the entries clients
+        have been asking for.  Bounded by :data:`QUERY_LOG_CAPACITY`.
+        """
+        with self._counts_lock:
+            log = self._query_log
+            for source, target, samples, max_hops in queries:
+                key = (source, target, samples, max_hops, seed)
+                count = log.get(key)
+                if count is not None:
+                    log[key] = count + 1
+                elif len(log) < QUERY_LOG_CAPACITY:
+                    log[key] = 1
+
+    def top_queries(
+        self, limit: int = DEFAULT_REWARM_TOP
+    ) -> List[Dict[str, object]]:
+        """The ``limit`` hottest engine-served query keys, hottest first.
+
+        Ties break on the key itself so the ranking is deterministic.
+        """
+        self._check_positive(limit, "limit")
+        with self._counts_lock:
+            entries = sorted(
+                self._query_log.items(), key=lambda item: (-item[1], item[0])
+            )[: int(limit)]
+        return [
+            {
+                "source": source,
+                "target": target,
+                "samples": samples,
+                "max_hops": max_hops,
+                "seed": seed,
+                "count": count,
+            }
+            for (source, target, samples, max_hops, seed), count in entries
+        ]
+
+    def rewarm(self, limit: int = DEFAULT_REWARM_TOP) -> Dict[str, int]:
+        """Replay the hottest logged keys into the (current) result cache.
+
+        The background half of the update lifecycle: after a version
+        swap the successor's cache starts cold, so ``repro serve`` calls
+        this from a worker thread to re-evaluate the top ``limit``
+        logged keys against the new graph.  Keys are grouped by seed —
+        one :meth:`warm` pass per seed group — because the seed is part
+        of the cache identity a replay must reproduce exactly.
+        """
+        top = self.top_queries(limit)
+        by_seed: Dict[int, List[QuerySpec]] = {}
+        for entry in top:
+            by_seed.setdefault(int(entry["seed"]), []).append(
+                QuerySpec(
+                    source=int(entry["source"]),
+                    target=int(entry["target"]),
+                    samples=int(entry["samples"]),
+                    max_hops=entry["max_hops"],
+                )
+            )
+        for seed in sorted(by_seed):
+            self.warm(WarmRequest(queries=tuple(by_seed[seed]), seed=seed))
+        with self._counts_lock:
+            self._rewarm_runs += 1
+            self._rewarm_queries += len(top)
+        return {"queries_rewarmed": len(top), "warm_passes": len(by_seed)}
 
     # ------------------------------------------------------------------
     # topk / bounds / recommend
@@ -855,12 +1061,17 @@ class ReliabilityService:
         flushes pending recency ticks) — milliseconds under load, versus
         the old behaviour of queueing behind entire engine runs.
         """
+        graph = self.graph
         return {
             "dataset": self.dataset_key,
             "scale": self.scale,
             "seed": self.seed,
-            "nodes": int(self.graph.node_count),
-            "edges": int(self.graph.edge_count),
+            "nodes": int(graph.node_count),
+            "edges": int(graph.edge_count),
+            "graph": {
+                "fingerprint": graph_fingerprint(graph),
+                "version": int(getattr(graph, "version", 0)),
+            },
             "uptime_seconds": round(time.time() - self._started, 3),
             "persistent": self.persistent,
             "requests": {
@@ -869,6 +1080,11 @@ class ReliabilityService:
                 if count
             },
             "estimators_loaded": sorted(self._estimators),
+            "top_queries": self.top_queries(),
+            "rewarm": {
+                "runs": self._rewarm_runs,
+                "queries": self._rewarm_queries,
+            },
             "cache": self._cache.statistics(),
             # None until the first multi-worker engine run builds the
             # shared pool; the pool's own counters are lock-free reads.
@@ -880,7 +1096,9 @@ class ReliabilityService:
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_REWARM_TOP",
     "FAST_BATCH_PATHS",
     "KERNEL_MODES",
+    "QUERY_LOG_CAPACITY",
     "ReliabilityService",
 ]

@@ -368,6 +368,87 @@ class BoundsRequest:
 
 
 @dataclass(frozen=True)
+class UpdateRequest:
+    """A live mutation of the served graph (probabilities and topology).
+
+    ``set_edges`` entries are ``[source, target, probability]`` exact
+    assignments — setting an existing edge rewrites its probability,
+    setting a new pair adds the edge.  ``remove_edges`` entries are
+    ``[source, target]`` pairs that must currently exist.  At least one
+    operation is required; duplicate or conflicting operations on the
+    same pair are rejected so an update is order-independent.
+    """
+
+    set_edges: Tuple[Tuple[int, int, float], ...] = ()
+    remove_edges: Tuple[Tuple[int, int], ...] = ()
+
+    _KEYS = ("set_edges", "remove_edges")
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "UpdateRequest":
+        payload = _require_mapping(payload, "an update request")
+        _reject_unknown_keys(payload, cls._KEYS, "an update request")
+        set_edges = []
+        entries = payload.get("set_edges", [])
+        if not isinstance(entries, (list, tuple)):
+            raise InvalidQueryError(
+                "set_edges must be a list of [source, target, probability] "
+                f"entries, got {entries!r}"
+            )
+        for position, entry in enumerate(entries):
+            context = f"set_edges entry {position}"
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise InvalidQueryError(
+                    f"{context}: expected [source, target, probability], "
+                    f"got {entry!r}"
+                )
+            source = _require_int(entry[0], f"{context}: source")
+            target = _require_int(entry[1], f"{context}: target")
+            probability = entry[2]
+            if isinstance(probability, bool) or not isinstance(
+                probability, (int, float)
+            ):
+                raise InvalidQueryError(
+                    f"{context}: probability must be a number, "
+                    f"got {probability!r}"
+                )
+            set_edges.append((source, target, float(probability)))
+        remove_edges = []
+        entries = payload.get("remove_edges", [])
+        if not isinstance(entries, (list, tuple)):
+            raise InvalidQueryError(
+                "remove_edges must be a list of [source, target] entries, "
+                f"got {entries!r}"
+            )
+        for position, entry in enumerate(entries):
+            context = f"remove_edges entry {position}"
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise InvalidQueryError(
+                    f"{context}: expected [source, target], got {entry!r}"
+                )
+            remove_edges.append(
+                (
+                    _require_int(entry[0], f"{context}: source"),
+                    _require_int(entry[1], f"{context}: target"),
+                )
+            )
+        if not set_edges and not remove_edges:
+            raise InvalidQueryError(
+                "an update request needs at least one set_edges or "
+                "remove_edges entry"
+            )
+        return cls(
+            set_edges=tuple(set_edges), remove_edges=tuple(remove_edges)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "set_edges": [list(entry) for entry in self.set_edges],
+            "remove_edges": [list(entry) for entry in self.remove_edges],
+        }
+
+
+@dataclass(frozen=True)
 class RecommendRequest:
     """Inputs to the paper's Fig. 18 estimator decision tree."""
 
@@ -448,12 +529,14 @@ class EngineReport:
     seconds: Optional[float] = None
     chunk_size: Optional[int] = None
     cache: Optional[Dict[str, int]] = None
+    fingerprint: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         report: Dict[str, Any] = {"mode": self.mode}
         for key in (
             "workers", "worlds_sampled", "sweeps", "cache_hits",
             "cache_misses", "seconds", "chunk_size", "cache",
+            "fingerprint",
         ):
             value = getattr(self, key)
             if value is not None:
@@ -561,6 +644,50 @@ class WarmResponse:
 
 
 @dataclass(frozen=True)
+class UpdateResponse:
+    """Outcome of one live graph update.
+
+    ``previous_fingerprint`` → ``fingerprint`` is the cache-visible
+    version transition: every engine cache key embeds the fingerprint,
+    so keys minted against the predecessor stay valid *for that
+    version* while the successor starts cold.  ``estimators`` maps each
+    already-built estimator to how its index survived the update
+    (``repointed`` / ``rebuilt`` / ``dropped`` / ``incremental``), and
+    ``pool`` records whether a fingerprint-pinned worker pool had to be
+    respawned.
+    """
+
+    previous_fingerprint: str
+    fingerprint: str
+    version: int
+    node_count: int
+    edge_count: int
+    edges_set: int
+    edges_added: int
+    edges_removed: int
+    structural: bool
+    estimators: Dict[str, str]
+    pool: str
+    seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "previous_fingerprint": self.previous_fingerprint,
+            "fingerprint": self.fingerprint,
+            "version": self.version,
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "edges_set": self.edges_set,
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "structural": self.structural,
+            "estimators": dict(self.estimators),
+            "pool": self.pool,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
 class TopKResponse:
     """Ranked (node, reliability) rows for one top-k query."""
 
@@ -630,12 +757,14 @@ __all__ = [
     "WarmRequest",
     "TopKRequest",
     "BoundsRequest",
+    "UpdateRequest",
     "RecommendRequest",
     "QueryResult",
     "EngineReport",
     "EstimateResponse",
     "BatchResponse",
     "WarmResponse",
+    "UpdateResponse",
     "TopKResponse",
     "BoundsResponse",
     "RecommendResponse",

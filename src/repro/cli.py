@@ -46,6 +46,7 @@ from repro.api import (
 )
 from repro.api.service import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_REWARM_TOP,
     FAST_BATCH_PATHS,
     KERNEL_MODES,
 )
@@ -195,6 +196,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kernels", choices=KERNEL_MODES, default=None,
         help="default engine sweep implementation for served workloads "
              "(default: $REPRO_ENGINE_KERNELS or python)",
+    )
+    serve_cmd.add_argument(
+        "--rewarm-top", type=int, default=DEFAULT_REWARM_TOP,
+        help="after a POST /v1/update, re-warm this many of the hottest "
+             "logged query keys against the new graph version in the "
+             f"background; 0 disables (default: {DEFAULT_REWARM_TOP})",
     )
     serve_cmd.add_argument(
         "--verbose", action="store_true",
@@ -506,6 +513,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"repro serve: --chunk-size must be a positive integer, "
             f"got {args.chunk_size}"
         )
+    if args.rewarm_top < 0:
+        raise SystemExit(
+            f"repro serve: --rewarm-top must be zero (disabled) or "
+            f"positive, got {args.rewarm_top}"
+        )
     service = _open_service(
         args,
         cache_dir=args.cache_dir,
@@ -523,7 +535,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
         print(
             "endpoints: POST /v1/estimate, POST /v1/batch, POST /v1/warm, "
-            "GET /v1/health, GET /v1/stats  (Ctrl-C to stop)",
+            "POST /v1/update, GET /v1/health, GET /v1/stats  "
+            "(Ctrl-C to stop)",
             flush=True,
         )
 
@@ -533,6 +546,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         quiet=not args.verbose,
         ready_callback=announce,
+        rewarm_top=args.rewarm_top,
     )
     return 0
 

@@ -287,6 +287,57 @@ class Estimator(abc.ABC):
         if not self.prepared:
             self.prepare()
 
+    def apply_update(
+        self,
+        graph: UncertainGraph,
+        *,
+        touched_edges: Sequence[Tuple[int, int]] = (),
+        structural: bool = False,
+    ) -> str:
+        """Repoint the estimator at a mutated successor ``graph``.
+
+        Called by the service after a live update
+        (:mod:`repro.core.mutation`): ``graph`` is the copy-on-write
+        successor, ``touched_edges`` the ``(source, target)`` pairs whose
+        probability or existence changed, and ``structural`` whether the
+        edge *set* changed.  Returns a maintenance-mode tag for
+        reporting:
+
+        * ``"repointed"`` — no index existed; the estimator now reads the
+          new graph and nothing else was needed;
+        * ``"rebuilt"`` — an index existed and was rebuilt from scratch
+          (the safe default for any index this base class knows nothing
+          about);
+        * subclasses may return richer tags (``"dropped"``,
+          ``"incremental"``) when they can do better than a rebuild —
+          see :class:`~repro.core.estimators.bfs_sharing.
+          BFSSharingEstimator` and :class:`~repro.core.estimators.
+          prob_tree.ProbTreeEstimator`.
+
+        Whatever the tag, the post-condition is identical: every
+        subsequent query answers against ``graph`` exactly as a freshly
+        constructed estimator would (the update conformance suite pins
+        this against the exact oracle).
+        """
+        had_index = self.prepared
+        self.graph = graph
+        self._batch_engine = None
+        self.last_batch_result = None
+        self._rebind_graph(graph)
+        if had_index:
+            self.prepare()
+            return "rebuilt"
+        return "repointed"
+
+    def _rebind_graph(self, graph: UncertainGraph) -> None:
+        """Refresh graph-derived working state after :meth:`apply_update`.
+
+        Subclasses that size scratch arrays (or precompute per-edge data)
+        from the graph in ``__init__`` override this to rebuild them —
+        ``self.graph`` has already been repointed when it runs.  The
+        default does nothing.
+        """
+
     def memory_bytes(self) -> int:
         """Approximate online working-set size in bytes (paper §3.6).
 

@@ -252,6 +252,27 @@ class BFSSharingEstimator(Estimator):
         self._index = index
         self.capacity = index.capacity
 
+    def apply_update(self, graph, *, touched_edges=(), structural=False):
+        """Drop the offline index and let it rebuild lazily.
+
+        The batch fast path never consults the monolithic index — it
+        streams the engine's world chunks, and the successor graph's new
+        fingerprint already re-keys that stream — so the only stale state
+        is the pre-sampled :class:`BFSSharingIndex` (its edge bit rows
+        are positional in the old CSR).  Rebuilding it eagerly would pay
+        the full ``O(Km)`` re-sampling (the paper's Table 15 cost) even
+        for graphs only ever served through the engine; dropping it
+        defers that cost to the first per-query access, which rebuilds
+        via :meth:`prepare` exactly as cold construction would.
+        """
+        had_index = self._index is not None
+        self.graph = graph
+        self._batch_engine = None
+        self.last_batch_result = None
+        self._index = None
+        self._node_bits = None
+        return "dropped" if had_index else "repointed"
+
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------

@@ -97,6 +97,18 @@ class LazyPropagationEstimator(Estimator):
         self._next_fire = np.zeros(0, dtype=np.int64)
         self._node_counters = np.zeros(0, dtype=np.int64)
 
+    def _rebind_graph(self, graph: UncertainGraph) -> None:
+        self._visited_epoch = np.zeros(graph.node_count, dtype=np.int64)
+        self._epoch = 0
+        with np.errstate(divide="ignore"):
+            self._log_survival = np.log1p(-graph.probs)
+        self._heaps = {}
+        self._counters = {}
+        self._uniform_buffer = np.empty(0)
+        self._uniform_position = 0
+        self._next_fire = np.zeros(0, dtype=np.int64)
+        self._node_counters = np.zeros(0, dtype=np.int64)
+
     # ------------------------------------------------------------------
     # Shared dispatch
     # ------------------------------------------------------------------

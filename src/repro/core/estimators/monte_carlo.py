@@ -30,6 +30,9 @@ class MonteCarloEstimator(Estimator):
         super().__init__(graph, seed=seed)
         self._sampler = ReachabilitySampler(graph)
 
+    def _rebind_graph(self, graph: UncertainGraph) -> None:
+        self._sampler = ReachabilitySampler(graph)
+
     def _estimate(
         self,
         source: int,

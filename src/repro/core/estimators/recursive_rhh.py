@@ -95,6 +95,13 @@ class RecursiveSamplingEstimator(Estimator):
         self._max_depth_seen = 0
         self._source = 0
 
+    def _rebind_graph(self, graph: UncertainGraph) -> None:
+        self._sampler = ReachabilitySampler(graph)
+        self._forced = np.zeros(graph.edge_count, dtype=np.int8)
+        self._reached = np.zeros(graph.node_count, dtype=bool)
+        self._stack = []
+        self._dirty_edges = []
+
     # ------------------------------------------------------------------
     # Recursion
     # ------------------------------------------------------------------

@@ -76,6 +76,13 @@ class RecursiveStratifiedEstimator(Estimator):
         self._max_depth_seen = 0
         self._source = 0
 
+    def _rebind_graph(self, graph: UncertainGraph) -> None:
+        self._sampler = ReachabilitySampler(graph)
+        self._forced = np.zeros(graph.edge_count, dtype=np.int8)
+        self._certain_epoch = np.zeros(graph.node_count, dtype=np.int64)
+        self._possible_epoch = np.zeros(graph.node_count, dtype=np.int64)
+        self._epoch = 0
+
     # ------------------------------------------------------------------
     # Stratum machinery
     # ------------------------------------------------------------------

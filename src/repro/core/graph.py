@@ -105,6 +105,14 @@ class UncertainGraph:
 
         self._edge_sources = sources
         self._reverse: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: Mutation counter.  The graph itself stays frozen; the mutation
+        #: layer (:mod:`repro.core.mutation`) builds *successor* graphs
+        #: with ``version = predecessor + 1`` so caches that memoise
+        #: content hashes (``repro.engine.cache.graph_fingerprint``) can
+        #: tell a changed graph from an unchanged one without re-hashing.
+        #: The rare owner that edits probabilities in place must bump this
+        #: (see :func:`repro.core.mutation.set_edge_probability`).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Constructors

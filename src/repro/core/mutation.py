@@ -1,0 +1,208 @@
+"""Graph mutation: versioned copy-on-write updates of an uncertain graph.
+
+An :class:`~repro.core.graph.UncertainGraph` is frozen — every consumer
+(estimator indexes, the engine's world stream, result-cache keys) is
+built on that assumption.  Live serving still needs edge probabilities
+to move (link-quality telemetry, influence weights, failures; the
+paper's Table 15 measures exactly the index-maintenance cost such
+updates incur).  This module reconciles the two with *copy-on-write*
+updates: :func:`apply_update` never touches the input graph; it builds a
+**successor** graph carrying the merged edge set and a bumped
+``version`` counter.  In-flight computations keep the old immutable
+graph (no torn reads, no new locks on the query path), the service
+swaps in the successor atomically, and cache invalidation is exact by
+construction — the successor's content hash
+(:func:`repro.engine.cache.graph_fingerprint`) keys new cache entries
+while the predecessor's entries stay valid *for the predecessor*.
+
+Update semantics:
+
+* ``set_edges`` assigns **exact** probabilities: an existing edge's
+  probability is replaced (not OR-merged — OR-merging is construction
+  semantics for parallel input edges, not update semantics), a missing
+  edge is inserted.
+* ``remove_edges`` deletes edges; removing an edge that does not exist
+  is an error (the caller's view of the graph is stale — silently
+  ignoring it would hide that).
+* Self-loops, out-of-range nodes, and probabilities outside ``(0, 1]``
+  are rejected exactly as construction rejects them.  The node set never
+  changes (edge operations only).
+
+The one sanctioned *in-place* edit, :func:`set_edge_probability`, exists
+for owners of private graphs (tests, notebooks); it bumps
+``graph.version`` so memoised fingerprints re-hash instead of serving
+stale digests.  Shared graphs — anything a service or engine holds —
+must go through :func:`apply_update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.util.validation import check_node, check_probability
+
+#: An update entry: ``(source, target, probability)`` for ``set_edges``,
+#: ``(source, target)`` for ``remove_edges``.
+EdgeAssignment = Tuple[int, int, float]
+EdgePair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """The outcome of one :func:`apply_update` call.
+
+    ``graph`` is the successor (``version == predecessor.version + 1``);
+    the predecessor is untouched.  ``touched_edges`` lists every
+    ``(source, target)`` pair whose probability or existence changed —
+    the unit incremental index maintenance keys off
+    (:meth:`repro.core.estimators.base.Estimator.apply_update`).
+    ``structural`` is True iff the edge *set* changed (an add or a
+    remove), the case that invalidates existence-dependent index
+    structure rather than just probabilities.
+    """
+
+    graph: UncertainGraph
+    touched_edges: Tuple[EdgePair, ...]
+    structural: bool
+    edges_set: int
+    edges_added: int
+    edges_removed: int
+
+
+def _coerce_pair(entry: Sequence[int], what: str) -> EdgePair:
+    parts = tuple(entry)
+    if len(parts) < 2:
+        raise ValueError(f"a {what} entry needs (source, target), got {entry!r}")
+    return int(parts[0]), int(parts[1])
+
+
+def apply_update(
+    graph: UncertainGraph,
+    set_edges: Iterable[EdgeAssignment] = (),
+    remove_edges: Iterable[EdgePair] = (),
+) -> MutationResult:
+    """Build the successor of ``graph`` under the given edge operations.
+
+    Raises :class:`ValueError` for malformed entries, duplicate
+    operations on one edge, removal of a missing edge, or an update with
+    no operations at all (an empty update signals a confused caller, not
+    a no-op to wave through).
+    """
+    assignments: Dict[EdgePair, float] = {}
+    for entry in set_edges:
+        parts = tuple(entry)
+        if len(parts) != 3:
+            raise ValueError(
+                f"a set_edges entry is (source, target, probability), "
+                f"got {entry!r}"
+            )
+        source = check_node(int(parts[0]), graph.node_count, "source")
+        target = check_node(int(parts[1]), graph.node_count, "target")
+        if source == target:
+            raise ValueError(
+                f"self-loop ({source}, {source}) cannot be set: self-loops "
+                f"never affect s-t reliability and are not stored"
+            )
+        probability = check_probability(float(parts[2]))
+        key = (source, target)
+        if key in assignments:
+            raise ValueError(
+                f"edge ({source}, {target}) appears more than once in "
+                f"set_edges; one update assigns each edge at most once"
+            )
+        assignments[key] = probability
+
+    removals = []
+    removed_set = set()
+    for entry in remove_edges:
+        source, target = _coerce_pair(entry, "remove_edges")
+        source = check_node(source, graph.node_count, "source")
+        target = check_node(target, graph.node_count, "target")
+        key = (source, target)
+        if key in removed_set:
+            raise ValueError(
+                f"edge ({source}, {target}) appears more than once in "
+                f"remove_edges"
+            )
+        if key in assignments:
+            raise ValueError(
+                f"edge ({source}, {target}) is both set and removed in one "
+                f"update; pick one operation per edge"
+            )
+        removed_set.add(key)
+        removals.append(key)
+
+    if not assignments and not removals:
+        raise ValueError(
+            "an update must set or remove at least one edge"
+        )
+
+    merged: Dict[EdgePair, float] = {
+        (u, v): p for u, v, p in graph.iter_edges()
+    }
+    edges_added = 0
+    for key, probability in assignments.items():
+        if key not in merged:
+            edges_added += 1
+        merged[key] = probability
+    for key in removals:
+        if key not in merged:
+            raise ValueError(
+                f"edge ({key[0]}, {key[1]}) cannot be removed: "
+                f"it does not exist"
+            )
+        del merged[key]
+
+    successor = UncertainGraph(
+        graph.node_count,
+        ((u, v, p) for (u, v), p in merged.items()),
+    )
+    successor.version = graph.version + 1
+
+    touched = tuple(sorted(set(assignments) | removed_set))
+    return MutationResult(
+        graph=successor,
+        touched_edges=touched,
+        structural=bool(edges_added or removals),
+        edges_set=len(assignments) - edges_added,
+        edges_added=edges_added,
+        edges_removed=len(removals),
+    )
+
+
+def set_edge_probability(
+    graph: UncertainGraph, source: int, target: int, probability: float
+) -> None:
+    """Edit one existing edge's probability **in place** (owned graphs only).
+
+    Bumps ``graph.version`` so version-aware memos (the fingerprint
+    cache) re-hash.  The edge must exist — in-place edits cannot change
+    the CSR structure.  Anything shared (a service's graph, a pool's
+    pinned graph) must use :func:`apply_update` instead: in-place edits
+    race against concurrent readers and invalidate nothing downstream.
+    """
+    source = check_node(int(source), graph.node_count, "source")
+    target = check_node(int(target), graph.node_count, "target")
+    probability = check_probability(float(probability))
+    if graph.edge_probability(source, target) is None:
+        raise ValueError(
+            f"edge ({source}, {target}) does not exist; in-place edits "
+            f"cannot add edges — use apply_update"
+        )
+    start, stop = graph.indptr[source], graph.indptr[source + 1]
+    position = int(np.searchsorted(graph.targets[start:stop], target))
+    graph.probs[start + position] = probability
+    graph.version += 1
+
+
+__all__ = [
+    "EdgeAssignment",
+    "EdgePair",
+    "MutationResult",
+    "apply_update",
+    "set_edge_probability",
+]

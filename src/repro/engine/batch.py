@@ -140,6 +140,11 @@ class BatchResult:
     #: ``False`` where this run evaluated it.  ``None`` when the run had
     #: no provenance to report (externally constructed results).
     from_cache: Optional[np.ndarray] = None
+    #: Fingerprint of the graph this run answered against — the version
+    #: provenance live-update clients (and the mid-update hammer tests)
+    #: need to know *which* graph produced each response.  ``None`` for
+    #: externally constructed results.
+    fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -558,6 +563,7 @@ class BatchEngine:
             # `pending` still marks this run's cache misses; its negation
             # is the per-unique-query provenance, scattered like estimates.
             from_cache=plan.scatter(~pending),
+            fingerprint=self.fingerprint,
         )
 
     def run_sequential(self, queries: Iterable[QueryLike]) -> BatchResult:
@@ -600,6 +606,7 @@ class BatchEngine:
             seconds=time.perf_counter() - started,
             # The oracle bypasses the cache on purpose: nothing cached.
             from_cache=plan.scatter(np.zeros(plan.unique_count, dtype=bool)),
+            fingerprint=self.fingerprint,
         )
 
 

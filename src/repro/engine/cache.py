@@ -98,18 +98,25 @@ def graph_fingerprint(graph: UncertainGraph) -> str:
 
     Two graphs with identical structure and probabilities share a
     fingerprint, so cached results survive reloading the same dataset.
-    The digest is memoised on the (frozen) graph instance.
+
+    The digest is memoised on the graph instance *keyed by its mutation
+    counter* (``graph.version``): a plain memo served stale digests —
+    hence stale cache keys — to any graph edited in place after its
+    first hashing.  The memo holds ``(version, digest)`` and re-hashes
+    whenever the version moved; at an unchanged version, repeated calls
+    return the identical digest string.
     """
+    version = getattr(graph, "version", 0)
     cached = getattr(graph, _FINGERPRINT_ATTRIBUTE, None)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] == version:
+        return cached[1]
     digest = hashlib.blake2b(digest_size=16)
     digest.update(int(graph.node_count).to_bytes(8, "little"))
     digest.update(graph.indptr.tobytes())
     digest.update(graph.targets.tobytes())
     digest.update(graph.probs.tobytes())
     fingerprint = digest.hexdigest()
-    setattr(graph, _FINGERPRINT_ATTRIBUTE, fingerprint)
+    setattr(graph, _FINGERPRINT_ATTRIBUTE, (version, fingerprint))
     return fingerprint
 
 

@@ -48,7 +48,7 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -298,6 +298,13 @@ class WorkerPool:
             # running: cancel whatever has not started, then propagate.
             for future in futures:
                 future.cancel()
+            if isinstance(error, CancelledError) and self._closed:
+                # close(cancel_futures=True) raced an in-flight run: the
+                # queued chunks were cancelled under us.  That is the
+                # pool going away, not a failed computation — surface it
+                # as PoolClosedError so the engine re-evaluates via its
+                # per-run fallback instead of erroring the request.
+                raise PoolClosedError("worker pool is closed") from None
             raise self._tag(error, executor)
         with self._lock:
             self._runs += 1

@@ -15,9 +15,11 @@ from repro.serve.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     MAX_BODY_BYTES,
+    MAX_BODY_ENV_VAR,
     ReliabilityHTTPServer,
     ReliabilityRequestHandler,
     create_server,
+    max_body_bytes,
     serve,
 )
 
@@ -25,8 +27,10 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "MAX_BODY_BYTES",
+    "MAX_BODY_ENV_VAR",
     "ReliabilityHTTPServer",
     "ReliabilityRequestHandler",
     "create_server",
+    "max_body_bytes",
     "serve",
 ]

@@ -12,6 +12,7 @@ Endpoints (all JSON)::
     POST /v1/estimate   EstimateRequest  -> EstimateResponse
     POST /v1/batch      BatchRequest     -> BatchResponse
     POST /v1/warm       WarmRequest      -> WarmResponse
+    POST /v1/update     UpdateRequest    -> UpdateResponse
     GET  /v1/health     liveness payload
     GET  /v1/stats      service-lifetime counters + cache statistics
 
@@ -19,9 +20,18 @@ The batch endpoint returns the same JSON document ``repro batch``
 prints — same engine report, same per-query rows — so a client can move
 between the CLI and the server without changing a parser.  Failures are
 structured: every :class:`~repro.api.errors.ReliabilityError` becomes
-``{"error": {"type": ..., "message": ...}}`` with a 400 status, unknown
-paths 404, wrong verbs 405, and unexpected exceptions a minimal 500
-(details stay server-side).
+``{"error": {"type": ..., "message": ...}}`` with its mapped status
+(400 for the malformed-request family, 413 for oversized bodies),
+unknown paths 404, wrong verbs 405, and unexpected exceptions a minimal
+500 (details stay server-side).
+
+``/v1/update`` publishes a new graph *version* (see
+:meth:`~repro.api.service.ReliabilityService.update`): cache keys embed
+the graph fingerprint, so the swap invalidates exactly the stale keys
+and nothing else.  After a successful update the handler kicks off a
+daemon **re-warm worker** that replays the hottest logged query keys
+against the successor (``--rewarm-top`` on the CLI), so steady-state
+clients come back to a warm cache instead of paying the cold-start.
 
 Concurrency: :class:`ThreadingHTTPServer` handles each connection on its
 own thread, and the service's fine-grained locking lets those threads
@@ -42,13 +52,24 @@ threads interleave or the pool schedules chunks (hammer-tested in
 from __future__ import annotations
 
 import json
+import os
+import threading
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.api.errors import InvalidQueryError, ReliabilityError
-from repro.api.service import ReliabilityService
-from repro.api.types import BatchRequest, EstimateRequest, WarmRequest
+from repro.api.errors import (
+    InvalidQueryError,
+    PayloadTooLargeError,
+    ReliabilityError,
+)
+from repro.api.service import DEFAULT_REWARM_TOP, ReliabilityService
+from repro.api.types import (
+    BatchRequest,
+    EstimateRequest,
+    UpdateRequest,
+    WarmRequest,
+)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8315
@@ -56,6 +77,27 @@ DEFAULT_PORT = 8315
 #: Largest accepted request body; far above any sane workload, small
 #: enough that a misdirected upload cannot balloon server memory.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Environment override for the body cap — deployments fronting the
+#: server with their own limits (or test rigs) tune it without a fork.
+MAX_BODY_ENV_VAR = "REPRO_SERVE_MAX_BODY"
+
+
+def max_body_bytes() -> int:
+    """The effective request-body cap (env override, else the default).
+
+    Read per request so a test rig can lower the cap without restarting
+    the server; a missing, malformed, or non-positive override falls
+    back to :data:`MAX_BODY_BYTES` rather than disabling the guard.
+    """
+    raw = os.environ.get(MAX_BODY_ENV_VAR)
+    if raw is None:
+        return MAX_BODY_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        return MAX_BODY_BYTES
+    return value if value > 0 else MAX_BODY_BYTES
 
 
 class ReliabilityHTTPServer(ThreadingHTTPServer):
@@ -68,9 +110,13 @@ class ReliabilityHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: ReliabilityService,
         quiet: bool = True,
+        rewarm_top: int = DEFAULT_REWARM_TOP,
     ) -> None:
         self.service = service
         self.quiet = quiet
+        #: Hottest logged keys the post-update re-warm worker replays;
+        #: ``0`` disables background re-warming entirely.
+        self.rewarm_top = max(0, int(rewarm_top))
         super().__init__(address, ReliabilityRequestHandler)
 
     @property
@@ -92,7 +138,7 @@ class ReliabilityHTTPServer(ThreadingHTTPServer):
 
 
 class ReliabilityRequestHandler(BaseHTTPRequestHandler):
-    """Routes the five ``/v1`` endpoints onto the bound service."""
+    """Routes the six ``/v1`` endpoints onto the bound service."""
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -198,7 +244,29 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
             "/v1/warm": lambda payload: service.warm(
                 WarmRequest.from_dict(payload)
             ).to_dict(),
+            "/v1/update": self._handle_update,
         }
+
+    def _handle_update(self, payload: Any) -> Dict[str, Any]:
+        """Apply a live graph update, then re-warm in the background.
+
+        The re-warm runs on a daemon thread *after* the update response
+        is computed: the client gets its version transition immediately,
+        and the hottest logged keys are re-evaluated against the
+        successor concurrently with whatever traffic follows.  Progress
+        is observable via the ``rewarm`` counters in ``/v1/stats``.
+        """
+        service = self.server.service
+        response = service.update(UpdateRequest.from_dict(payload)).to_dict()
+        limit = getattr(self.server, "rewarm_top", DEFAULT_REWARM_TOP)
+        if limit > 0:
+            threading.Thread(
+                target=service.rewarm,
+                args=(limit,),
+                name="repro-serve-rewarm",
+                daemon=True,
+            ).start()
+        return response
 
     # ------------------------------------------------------------------
     # IO helpers
@@ -212,14 +280,23 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
             # resynchronised for keep-alive: close it after the error.
             self.close_connection = True
             raise InvalidQueryError("invalid Content-Length header") from None
-        if length <= 0:
+        if length < 0:
+            # A negative declared length is not "empty", it is a
+            # malformed (or hostile) header — and like an unparseable
+            # one, it leaves the connection unsynchronisable.
+            self.close_connection = True
+            raise InvalidQueryError(
+                f"Content-Length must be non-negative, got {length}"
+            )
+        if length == 0:
             raise InvalidQueryError(
                 "request body must be a JSON object (empty body received)"
             )
-        if length > MAX_BODY_BYTES:
+        limit = max_body_bytes()
+        if length > limit:
             # Drain (and discard) the declared body in bounded chunks
             # before rejecting: responding while the client is still
-            # writing would reset the connection and the structured 400
+            # writing would reset the connection and the structured 413
             # would never arrive.  The connection is closed afterwards
             # regardless — a client that declared more than it sends
             # must not stall a keep-alive handler thread forever.
@@ -230,9 +307,9 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
                 if not chunk:
                     break
                 remaining -= len(chunk)
-            raise InvalidQueryError(
+            raise PayloadTooLargeError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+                f"{limit}-byte limit"
             )
         body = self.rfile.read(length)
         try:
@@ -291,6 +368,7 @@ def create_server(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     quiet: bool = True,
+    rewarm_top: int = DEFAULT_REWARM_TOP,
 ) -> ReliabilityHTTPServer:
     """Bind a server to ``service`` (``port=0`` picks a free port).
 
@@ -299,7 +377,9 @@ def create_server(
     ``service.close()`` to tear down.  Tests bind to port 0 and drive
     the returned server from a background thread.
     """
-    return ReliabilityHTTPServer((host, port), service, quiet=quiet)
+    return ReliabilityHTTPServer(
+        (host, port), service, quiet=quiet, rewarm_top=rewarm_top
+    )
 
 
 def serve(
@@ -308,9 +388,12 @@ def serve(
     port: int = DEFAULT_PORT,
     quiet: bool = True,
     ready_callback: Optional[Callable[[ReliabilityHTTPServer], None]] = None,
+    rewarm_top: int = DEFAULT_REWARM_TOP,
 ) -> None:
     """Run the server until interrupted (the ``repro serve`` body)."""
-    server = create_server(service, host, port, quiet=quiet)
+    server = create_server(
+        service, host, port, quiet=quiet, rewarm_top=rewarm_top
+    )
     if ready_callback is not None:
         ready_callback(server)
     try:
@@ -326,8 +409,10 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "MAX_BODY_BYTES",
+    "MAX_BODY_ENV_VAR",
     "ReliabilityHTTPServer",
     "ReliabilityRequestHandler",
     "create_server",
+    "max_body_bytes",
     "serve",
 ]

@@ -1,0 +1,218 @@
+"""Tests for ``ReliabilityService.update`` and the re-warm plumbing."""
+
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    InvalidQueryError,
+    ReliabilityService,
+    UpdateRequest,
+    coerce_query_specs,
+)
+from repro.core.graph import UncertainGraph
+from repro.engine.batch import BatchEngine
+from repro.engine.cache import graph_fingerprint
+
+SEED = 11
+
+EDGES = [
+    (0, 1, 0.8), (1, 2, 0.6), (0, 2, 0.3), (2, 3, 0.7),
+    (1, 3, 0.4), (3, 4, 0.9), (2, 4, 0.5),
+]
+
+QUERIES = [[0, 3, 300], [1, 4, 300], [0, 4, 300]]
+
+
+def make_service(**options):
+    return ReliabilityService(
+        UncertainGraph(5, EDGES), seed=SEED, **options
+    )
+
+
+def batch(service, queries=None, **overrides):
+    return service.estimate_batch(
+        BatchRequest(
+            queries=coerce_query_specs(queries or QUERIES), **overrides
+        )
+    )
+
+
+class TestUpdateRoundTrip:
+    def test_version_transition_and_counters(self):
+        with make_service() as service:
+            before = graph_fingerprint(service.graph)
+            response = service.update(
+                UpdateRequest(set_edges=((0, 1, 0.5),))
+            )
+            assert response.previous_fingerprint == before
+            assert response.fingerprint != before
+            assert response.fingerprint == graph_fingerprint(service.graph)
+            assert response.version == 1
+            assert response.edges_set == 1
+            assert not response.structural
+            assert service.stats()["requests"]["update"] == 1
+            assert service.stats()["graph"]["version"] == 1
+
+    def test_invalid_update_is_a_structured_400(self):
+        with make_service() as service:
+            with pytest.raises(InvalidQueryError):
+                service.update(UpdateRequest(remove_edges=((4, 0),)))
+            # A rejected update publishes nothing.
+            assert service.graph.version == 0
+
+    def test_stale_cache_keys_miss_and_new_version_matches_oracle(self):
+        with make_service() as service:
+            first = batch(service)
+            assert first.engine.cache_misses == len(QUERIES)
+            # Same request again: fully served from cache.
+            again = batch(service)
+            assert again.engine.cache_hits == len(QUERIES)
+            assert again.engine.worlds_sampled == 0
+
+            service.update(UpdateRequest(set_edges=((1, 2, 0.95),)))
+
+            # The fingerprint changed, so every key misses...
+            after = batch(service)
+            assert after.engine.cache_hits == 0
+            assert after.engine.cache_misses == len(QUERIES)
+            assert after.engine.fingerprint != first.engine.fingerprint
+            # ...and the answers are bit-identical to a fresh sequential
+            # oracle over the mutated graph.
+            oracle = BatchEngine(service.graph, seed=SEED).run_sequential(
+                [(0, 3, 300, None), (1, 4, 300, None), (0, 4, 300, None)]
+            )
+            assert after.estimates == [float(e) for e in oracle.estimates]
+
+    def test_untouched_version_entries_survive_an_update(self):
+        with make_service() as service:
+            batch(service)
+            hits_before = service.stats()["cache"]["size"]
+            service.update(UpdateRequest(set_edges=((0, 1, 0.55),)))
+            # Nothing was purged: the predecessor's entries are still
+            # resident (they simply stop matching new-version keys).
+            assert service.stats()["cache"]["size"] == hits_before
+
+
+class TestEstimatorMaintenance:
+    def test_modes_reported_per_estimator(self):
+        with make_service() as service:
+            service.estimator("mc")
+            service.estimator("prob_tree")
+            service.estimator("bfs_sharing")
+            response = service.update(
+                UpdateRequest(set_edges=((0, 1, 0.5),))
+            )
+            assert response.estimators["prob_tree"] == "incremental"
+            assert response.estimators["bfs_sharing"] == "dropped"
+            assert response.estimators["mc"] in ("repointed", "rebuilt")
+
+    def test_structural_update_rebuilds_prob_tree(self):
+        with make_service() as service:
+            service.estimator("prob_tree")
+            response = service.update(UpdateRequest(remove_edges=((2, 4),)))
+            assert response.structural
+            assert response.estimators["prob_tree"] == "rebuilt"
+
+    def test_incremental_prob_tree_matches_fresh_rebuild(self):
+        # The estimator-index tentpole invariant: re-lifting only the
+        # bags covering touched edges must be *bit-identical* to
+        # decomposing the mutated graph from scratch.
+        with make_service() as service:
+            incremental = service.estimator("prob_tree")
+            service.update(
+                UpdateRequest(set_edges=((1, 2, 0.95), (3, 4, 0.15)))
+            )
+            fresh = service.create_estimator("prob_tree")
+            fresh.ensure_prepared()
+            queries = [(s, t, 200, None) for s in range(4) for t in range(5) if s != t]
+            a = incremental.estimate_batch(queries, seed=SEED)
+            b = fresh.estimate_batch(queries, seed=SEED)
+            assert [float(x) for x in a] == [float(x) for x in b]
+
+    def test_every_estimator_answers_on_the_new_version(self):
+        # Whatever survival mode each method picked, its post-update
+        # batch answers (the seed-keyed deterministic path) must match a
+        # same-method estimator built fresh on the successor graph.
+        methods = ("mc", "rhh", "rss", "lp", "prob_tree", "bfs_sharing")
+        queries = [(0, 4, 300, None), (1, 3, 300, None)]
+        with make_service() as service:
+            for method in methods:
+                service.estimator(method)
+            service.update(UpdateRequest(set_edges=((0, 2, 0.85),)))
+            for method in methods:
+                served = service.estimator(method)
+                fresh = service.create_estimator(method)
+                a = served.estimate_batch(queries, seed=SEED)
+                b = fresh.estimate_batch(queries, seed=SEED)
+                assert [float(x) for x in a] == [float(x) for x in b], method
+
+
+class TestPoolLifecycle:
+    def test_update_retires_the_fingerprint_pinned_pool(self):
+        with make_service(workers=2) as service:
+            batch(service, workers=2)
+            pool = service._pool
+            assert pool is not None
+            assert pool.fingerprint == graph_fingerprint(service.graph)
+            response = service.update(
+                UpdateRequest(set_edges=((0, 1, 0.5),))
+            )
+            assert response.pool == "respawned"
+            assert pool.closed
+            assert service._pool is None
+            # The next multi-worker run respawns against the successor.
+            batch(service, workers=2)
+            assert service._pool is not None
+            assert service._pool.fingerprint == graph_fingerprint(
+                service.graph
+            )
+
+    def test_update_without_a_pool_reports_none(self):
+        with make_service() as service:
+            response = service.update(
+                UpdateRequest(set_edges=((0, 1, 0.5),))
+            )
+            assert response.pool == "none"
+
+
+class TestQueryLogAndRewarm:
+    def test_top_queries_rank_by_count(self):
+        with make_service() as service:
+            batch(service, [[0, 3, 300]])
+            batch(service, [[0, 3, 300]])
+            batch(service, [[1, 4, 300]])
+            top = service.top_queries(2)
+            assert top[0]["source"] == 0 and top[0]["target"] == 3
+            assert top[0]["count"] == 2
+            assert top[1]["count"] == 1
+
+    def test_rewarm_repopulates_the_new_version(self):
+        with make_service() as service:
+            batch(service, [[0, 3, 300]])
+            service.update(UpdateRequest(set_edges=((0, 1, 0.5),)))
+            summary = service.rewarm(1)
+            assert summary == {"queries_rewarmed": 1, "warm_passes": 1}
+            # The hottest key is warm again: replaying it samples nothing.
+            after = batch(service, [[0, 3, 300]])
+            assert after.engine.worlds_sampled == 0
+            assert after.engine.cache_hits == 1
+            assert service.stats()["rewarm"] == {"runs": 1, "queries": 1}
+
+    def test_rewarm_groups_by_seed(self):
+        with make_service() as service:
+            batch(service, [[0, 3, 300]])
+            batch(service, [[1, 4, 300]], seed=99)
+            summary = service.rewarm(2)
+            assert summary["warm_passes"] == 2
+            # Both keys replay against their own seed: repeats hit.
+            assert batch(service, [[0, 3, 300]]).engine.worlds_sampled == 0
+            assert (
+                batch(service, [[1, 4, 300]], seed=99).engine.worlds_sampled
+                == 0
+            )
+
+    def test_rewarm_with_an_empty_log_is_a_no_op(self):
+        with make_service() as service:
+            assert service.rewarm() == {
+                "queries_rewarmed": 0, "warm_passes": 0,
+            }

@@ -1,0 +1,148 @@
+"""Tests for the copy-on-write graph mutation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import UncertainGraph
+from repro.core.mutation import apply_update, set_edge_probability
+
+EDGES = [(0, 1, 0.5), (1, 2, 0.25), (0, 2, 0.75), (2, 3, 0.4)]
+
+
+def make_graph():
+    return UncertainGraph(4, EDGES)
+
+
+class TestApplyUpdate:
+    def test_probability_set_builds_a_successor(self):
+        graph = make_graph()
+        mutation = apply_update(graph, set_edges=[(0, 1, 0.9)])
+        assert mutation.graph is not graph
+        assert mutation.graph.version == 1
+        assert mutation.graph.edge_probability(0, 1) == 0.9
+        assert mutation.edges_set == 1
+        assert mutation.edges_added == 0
+        assert mutation.edges_removed == 0
+        assert not mutation.structural
+        assert mutation.touched_edges == ((0, 1),)
+
+    def test_predecessor_is_never_touched(self):
+        graph = make_graph()
+        probs_before = graph.probs.copy()
+        apply_update(
+            graph, set_edges=[(0, 1, 0.9), (3, 0, 0.1)], remove_edges=[(2, 3)]
+        )
+        assert graph.version == 0
+        assert np.array_equal(graph.probs, probs_before)
+        assert graph.edge_probability(3, 0) is None
+        assert graph.edge_probability(2, 3) == 0.4
+
+    def test_set_is_exact_assignment_not_or_merge(self):
+        # The graph constructor OR-combines parallel edges; an update
+        # *assigns*.  Setting (0, 1) to 0.5 on a graph where it is 0.5
+        # must keep it exactly 0.5, not 1 - 0.5**2.
+        graph = make_graph()
+        mutation = apply_update(graph, set_edges=[(0, 1, 0.5)])
+        assert mutation.graph.edge_probability(0, 1) == 0.5
+
+    def test_new_pair_is_an_add(self):
+        graph = make_graph()
+        mutation = apply_update(graph, set_edges=[(3, 0, 0.3)])
+        assert mutation.edges_added == 1
+        assert mutation.edges_set == 0
+        assert mutation.structural
+        assert mutation.graph.edge_probability(3, 0) == 0.3
+        assert mutation.graph.edge_count == graph.edge_count + 1
+
+    def test_remove_existing_edge(self):
+        graph = make_graph()
+        mutation = apply_update(graph, remove_edges=[(2, 3)])
+        assert mutation.edges_removed == 1
+        assert mutation.structural
+        assert mutation.graph.edge_probability(2, 3) is None
+        assert mutation.graph.edge_count == graph.edge_count - 1
+
+    def test_node_count_never_changes(self):
+        graph = make_graph()
+        mutation = apply_update(graph, set_edges=[(3, 0, 0.3)])
+        assert mutation.graph.node_count == graph.node_count
+
+    def test_versions_chain(self):
+        graph = make_graph()
+        first = apply_update(graph, set_edges=[(0, 1, 0.6)]).graph
+        second = apply_update(first, set_edges=[(0, 1, 0.7)]).graph
+        assert (graph.version, first.version, second.version) == (0, 1, 2)
+
+    def test_touched_edges_are_sorted_and_deduplicated(self):
+        graph = make_graph()
+        mutation = apply_update(
+            graph, set_edges=[(2, 3, 0.9), (0, 1, 0.9)], remove_edges=[(0, 2)]
+        )
+        assert mutation.touched_edges == ((0, 1), (0, 2), (2, 3))
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            apply_update(make_graph())
+
+    def test_remove_absent_edge_rejected(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            apply_update(make_graph(), remove_edges=[(3, 0)])
+
+    def test_duplicate_set_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            apply_update(
+                make_graph(), set_edges=[(0, 1, 0.5), (0, 1, 0.6)]
+            )
+
+    def test_conflicting_set_and_remove_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            apply_update(
+                make_graph(), set_edges=[(0, 1, 0.5)], remove_edges=[(0, 1)]
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            apply_update(make_graph(), set_edges=[(1, 1, 0.5)])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValueError):
+            apply_update(make_graph(), set_edges=[(0, 99, 0.5)])
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            apply_update(make_graph(), set_edges=[(0, 1, 1.5)])
+        with pytest.raises(ValueError):
+            apply_update(make_graph(), set_edges=[(0, 1, 0.0)])
+
+    def test_successor_equals_fresh_construction(self):
+        # The successor must be indistinguishable from a graph built
+        # from scratch with the merged edge list — CSR layout included,
+        # since the fingerprint hashes the arrays directly.
+        graph = make_graph()
+        mutation = apply_update(
+            graph, set_edges=[(0, 1, 0.9), (3, 1, 0.2)], remove_edges=[(2, 3)]
+        )
+        fresh = UncertainGraph(
+            4, [(0, 1, 0.9), (1, 2, 0.25), (0, 2, 0.75), (3, 1, 0.2)]
+        )
+        assert np.array_equal(mutation.graph.indptr, fresh.indptr)
+        assert np.array_equal(mutation.graph.targets, fresh.targets)
+        assert np.array_equal(mutation.graph.probs, fresh.probs)
+
+
+class TestSetEdgeProbability:
+    def test_in_place_write_bumps_version(self):
+        graph = make_graph()
+        set_edge_probability(graph, 0, 1, 0.9)
+        assert graph.version == 1
+        assert graph.edge_probability(0, 1) == 0.9
+
+    def test_absent_edge_rejected(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            set_edge_probability(make_graph(), 3, 0, 0.5)
+
+    def test_invalid_probability_rejected(self):
+        graph = make_graph()
+        with pytest.raises(ValueError):
+            set_edge_probability(graph, 0, 1, 0.0)
+        assert graph.version == 0  # failed writes do not bump

@@ -30,6 +30,32 @@ class TestGraphFingerprint:
         graph = UncertainGraph(3, [(0, 1, 0.5)])
         assert graph_fingerprint(graph) is graph_fingerprint(graph)
 
+    def test_in_place_mutation_invalidates_the_memo(self):
+        # Regression: the memo used to be a bare attribute stamped once,
+        # so a graph whose probabilities changed in place kept serving
+        # its *old* digest — silently aliasing cache entries across
+        # versions.  The memo is version-aware now.
+        from repro.core.mutation import set_edge_probability
+
+        graph = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        before = graph_fingerprint(graph)
+        set_edge_probability(graph, 0, 1, 0.75)
+        after = graph_fingerprint(graph)
+        assert before != after
+        # And the new digest matches a fresh graph with the new edges.
+        fresh = UncertainGraph(3, [(0, 1, 0.75), (1, 2, 0.25)])
+        assert after == graph_fingerprint(fresh)
+
+    def test_successor_graph_gets_its_own_fingerprint(self):
+        from repro.core.mutation import apply_update
+
+        graph = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        before = graph_fingerprint(graph)
+        mutation = apply_update(graph, set_edges=[(0, 1, 0.9)])
+        assert graph_fingerprint(mutation.graph) != before
+        # The predecessor is untouched: same digest, memo still valid.
+        assert graph_fingerprint(graph) is before
+
 
 class TestResultCache:
     def test_miss_then_hit(self):

@@ -134,6 +134,50 @@ class TestFingerprintIsolation:
         assert reopened.get(result_key("fp-b", 0, 1, 100, 7)) == 0.75
 
 
+class TestUpdateLifecycle:
+    """The sidecar across a live service update (the PR 7 tentpole)."""
+
+    def test_pre_update_entries_survive_and_new_keys_miss_then_fill(
+        self, tmp_path
+    ):
+        from repro.api import (
+            BatchRequest,
+            ReliabilityService,
+            UpdateRequest,
+            coerce_query_specs,
+        )
+
+        cache_dir = str(tmp_path / "cache")
+        graph = UncertainGraph(
+            4, [(0, 1, 0.8), (1, 2, 0.7), (2, 3, 0.6), (0, 2, 0.5)]
+        )
+        request = BatchRequest(queries=coerce_query_specs([[0, 3, 150]]))
+        with ReliabilityService(
+            graph, seed=5, cache_dir=cache_dir
+        ) as service:
+            service.estimate_batch(request)
+            disk_before = service.stats()["cache"]["disk_size"]
+            service.update(UpdateRequest(set_edges=((1, 2, 0.9),)))
+            # Post-update, the same request misses (new fingerprint)
+            # and then fills the sidecar with new-version rows...
+            cold = service.estimate_batch(request)
+            assert cold.engine.cache_hits == 0
+            assert cold.engine.cache_misses == 1
+            assert service.stats()["cache"]["disk_size"] == disk_before + 1
+            warm = service.estimate_batch(request)
+            assert warm.engine.worlds_sampled == 0
+
+        # ...and both versions' rows are durable across a restart: a new
+        # service over the *original* graph warm-starts from the
+        # pre-update entries, untouched by the update.
+        with ReliabilityService(
+            graph, seed=5, cache_dir=cache_dir
+        ) as service:
+            replay = service.estimate_batch(request)
+            assert replay.engine.cache_hits == 1
+            assert replay.engine.worlds_sampled == 0
+
+
 class TestHopBoundIsolation:
     def test_hop_bounds_partition_disk_keys(self, cache_dir):
         writer = open_result_cache(cache_dir)

@@ -288,6 +288,184 @@ def _within_hops(graph, mask, source, target, max_hops) -> bool:
     return target in visited
 
 
+#: A hypothesis-generated update script: each entry picks an operation
+#: class (set / add / remove, modulo) plus a probability; the test maps
+#: it onto whatever edges the generated graph actually has.
+update_script = st.lists(
+    st.tuples(st.integers(0, 1_000_000), st.floats(0.05, 0.95)),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _missing_pair(graph, offset):
+    """The first non-edge (u, v) pair scanning from a script offset."""
+    n = graph.node_count
+    for step in range(n * n):
+        index = (offset + step) % (n * n)
+        u, v = divmod(index, n)
+        if u != v and graph.edge_probability(u, v) is None:
+            return u, v
+    return None
+
+
+def _apply_script(graph, script):
+    """Play an update script, one mutation per entry, skipping no-ops."""
+    from repro.core.mutation import apply_update
+
+    for raw, probability in script:
+        probability = round(float(probability), 3)
+        edges = list(graph.iter_edges())
+        op = raw % 3
+        if op == 0 and edges:  # reassign an existing edge
+            u, v, _ = edges[raw % len(edges)]
+            graph = apply_update(
+                graph, set_edges=[(u, v, probability)]
+            ).graph
+        elif op == 1:  # add a currently missing edge
+            pair = _missing_pair(graph, raw)
+            if pair is None:
+                continue
+            graph = apply_update(
+                graph, set_edges=[(*pair, probability)]
+            ).graph
+        elif len(edges) > 1:  # remove (keep the graph non-trivial)
+            u, v, _ = edges[raw % len(edges)]
+            graph = apply_update(graph, remove_edges=[(u, v)]).graph
+    return graph
+
+
+class TestUpdateConformance:
+    """The live-update tentpole, held to the exact oracle.
+
+    A mutated graph is just a graph: every estimator path must conform
+    on it, the engine's serial/vectorized bit-identity must survive the
+    version transition, and ProbTree's incremental re-lift must be
+    indistinguishable from decomposing the successor from scratch.
+    """
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(parts=small_graph_parts, script=update_script)
+    def test_estimators_conform_on_the_mutated_graph(self, parts, script):
+        graph = _apply_script(build(parts), script)
+        source, target = 0, graph.node_count - 1
+        exact = reliability_exact(graph, source, target)
+        for key in CONFORMANT_ESTIMATORS:
+            estimator = create_estimator(key, graph, seed=0)
+            estimator.prepare()
+            estimate = estimator.estimate_batch(
+                [(source, target, SAMPLES)], seed=0
+            )[0]
+            assert abs(estimate - exact) <= tolerance(exact), (
+                f"{key} on v{graph.version}: |{estimate} - exact {exact}| "
+                f"> {tolerance(exact)}"
+            )
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(parts=small_graph_parts, script=update_script)
+    def test_engine_bit_identity_survives_the_version_transition(
+        self, parts, script
+    ):
+        graph = build(parts)
+        mutated = _apply_script(graph, script)
+        source, target = 0, graph.node_count - 1
+        queries = [(source, target, 400), (target, source, 300)]
+        serial = BatchEngine(
+            mutated, seed=11, kernels="python"
+        ).run(queries)
+        vectorized = BatchEngine(
+            mutated, seed=11, kernels="vectorized"
+        ).run(queries)
+        np.testing.assert_array_equal(
+            vectorized.estimates, serial.estimates
+        )
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(parts=small_graph_parts, script=update_script)
+    def test_shared_cache_never_leaks_across_versions(self, parts, script):
+        from repro.engine.cache import ResultCache
+
+        graph = build(parts)
+        mutated = _apply_script(graph, script)
+        if mutated.version == 0:  # the whole script no-opped
+            return
+        source, target = 0, graph.node_count - 1
+        queries = [(source, target, 400)]
+        cache = ResultCache(capacity=64)
+        before = BatchEngine(graph, seed=11, cache=cache).run(queries)
+        BatchEngine(mutated, seed=11, cache=cache).run(queries)
+        replay = BatchEngine(graph, seed=11, cache=cache).run(queries)
+        # The predecessor's entry is still exact — served from cache,
+        # bit-identical, untouched by the successor's writes.
+        assert replay.cache_hits == 1
+        np.testing.assert_array_equal(replay.estimates, before.estimates)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        parts=small_graph_parts,
+        script=st.lists(
+            st.tuples(st.integers(0, 1_000_000), st.floats(0.05, 0.95)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_prob_tree_incremental_relift_matches_fresh_rebuild(
+        self, parts, script
+    ):
+        from repro.core.mutation import apply_update
+
+        graph = build(parts)
+        edges = list(graph.iter_edges())
+        if not edges:  # nothing to reassign on an edgeless graph
+            return
+        # Probability-only reassignments of existing edges (the
+        # incremental path); structural scripts rebuild and are covered
+        # above.
+        changes = {}
+        for raw, probability in script:
+            u, v, _ = edges[raw % len(edges)]
+            changes[(u, v)] = round(float(probability), 3)
+        incremental = create_estimator("prob_tree", graph, seed=0)
+        incremental.prepare()
+        mutation = apply_update(
+            graph, set_edges=[(u, v, p) for (u, v), p in changes.items()]
+        )
+        mode = incremental.apply_update(
+            mutation.graph,
+            touched_edges=mutation.touched_edges,
+            structural=mutation.structural,
+        )
+        assert mode == "incremental"
+        fresh = create_estimator("prob_tree", mutation.graph, seed=0)
+        fresh.prepare()
+        source, target = 0, graph.node_count - 1
+        queries = [(source, target, 300), (target, source, 300)]
+        np.testing.assert_array_equal(
+            incremental.estimate_batch(queries, seed=11),
+            fresh.estimate_batch(queries, seed=11),
+        )
+
+
 class TestKnownBiasedEstimator:
     """Fig. 5's finding as a regression pin: uncorrected LP is biased.
 

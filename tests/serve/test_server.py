@@ -326,7 +326,7 @@ class TestMethodRouting:
 
 
 class TestOversizedBody:
-    def test_oversized_body_gets_structured_400(self, server):
+    def test_oversized_body_gets_structured_413(self, server):
         from repro.serve import MAX_BODY_BYTES
 
         # The server refuses by Content-Length and closes the
@@ -341,7 +341,8 @@ class TestOversizedBody:
                 status, payload = response.status, json.loads(response.read())
         except urllib.error.HTTPError as error:
             status, payload = error.code, json.loads(error.read())
-        assert status == 400
+        assert status == 413
+        assert payload["error"]["type"] == "PayloadTooLargeError"
         assert "exceeds" in payload["error"]["message"]
         # The server is still healthy for the next (fresh) connection.
         status, _ = get(server, "/v1/health")
