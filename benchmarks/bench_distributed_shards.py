@@ -1,0 +1,280 @@
+"""The distributed shard tier: exact merges, scaling shape, failover.
+
+Not a paper table — this benchmarks the shard-tier work (coordinator +
+workers behind one front door).  The paper's determinism contract is
+what makes the tier *benchmarkable at all*: world ``i`` is a pure
+function of ``(graph fingerprint, seed, i)``, so every configuration
+below must produce bit-identical estimates, and the interesting numbers
+are wall-clock and bookkeeping, never accuracy.
+
+Three sections, the last two over real sockets against in-process
+servers:
+
+* ``merge_exactness`` — the engine-level heart of the tier:
+  ``run_range`` over a chunk-aligned partition, hit counts summed,
+  asserted bit-identical to one process sweeping the full range —
+  including the merged ``sweeps`` counter;
+* ``shard_scaling`` — one coordinator in front of 1 and 2 real HTTP
+  workers answering the same engine workload; each row records
+  wall-clock and the bit-identity verdict against a plain
+  single-process service (on one host the sharded run mostly measures
+  HTTP overhead; across real machines the same partition fans real
+  compute out);
+* ``failover`` — one of two workers is shut down, the next batch must
+  re-dispatch the dead worker's range and stay bit-identical; the row
+  records the coordinator's ``redispatches`` counter and the downed
+  member's bookkeeping.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_distributed_shards.py -q -s
+
+Environment knobs: ``REPRO_DIST_SCALE`` (default tiny),
+``REPRO_DIST_QUERIES`` (default 12), ``REPRO_DIST_K`` (default 600).
+Machine-readable results land in
+``benchmarks/output/distributed_shards.json`` (uploaded as a CI
+artifact).
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.api import BatchRequest, QuerySpec, ReliabilityService
+from repro.datasets.suite import load_dataset
+from repro.distributed import (
+    CoordinatedReliabilityService,
+    ShardTierConfig,
+    partition_ranges,
+)
+from repro.engine.batch import BatchEngine
+from repro.serve import create_server
+
+from benchmarks._shared import OUTPUT_DIRECTORY, emit
+
+DIST_SEED = 3
+DIST_DATASET = os.environ.get("REPRO_DIST_DATASET", "lastfm")
+DIST_SCALE = os.environ.get("REPRO_DIST_SCALE", "tiny")
+DIST_QUERIES = int(os.environ.get("REPRO_DIST_QUERIES", "12"))
+DIST_K = int(os.environ.get("REPRO_DIST_K", "600"))
+
+JSON_OUTPUT = OUTPUT_DIRECTORY / "distributed_shards.json"
+
+_JSON_PAYLOAD = {
+    "dataset": DIST_DATASET,
+    "scale": DIST_SCALE,
+    "queries": DIST_QUERIES,
+    "samples": DIST_K,
+    "seed": DIST_SEED,
+    "cpu_count": os.cpu_count(),
+}
+
+#: No same-shard retries, no backoff: failover timing below measures
+#: re-dispatch, not sleeping.
+TIER_CONFIG = ShardTierConfig(
+    timeout=60.0, retries=0, backoff=0.0, cooldown=600.0, local_fallback=True
+)
+
+
+def _write_json() -> None:
+    OUTPUT_DIRECTORY.mkdir(exist_ok=True)
+    JSON_OUTPUT.write_text(
+        json.dumps(_JSON_PAYLOAD, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _workload(node_count, salt=0):
+    """A deterministic engine workload with a shared sample budget."""
+    queries = []
+    for position in range(DIST_QUERIES):
+        source = (salt * 7919 + position * 131) % node_count
+        target = (salt * 977 + 7 + position * 13) % node_count
+        if source == target:
+            target = (target + 1) % node_count
+        queries.append(QuerySpec(source, target, DIST_K))
+    return BatchRequest(queries=tuple(queries), samples=DIST_K)
+
+
+def _start_worker():
+    service = ReliabilityService.from_dataset(
+        DIST_DATASET, DIST_SCALE, seed=DIST_SEED
+    )
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return service, server, thread
+
+
+def _stop_worker(worker):
+    service, server, thread = worker
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=10)
+
+
+def _coordinator(shard_urls):
+    loaded = load_dataset(DIST_DATASET, DIST_SCALE, DIST_SEED)
+    return CoordinatedReliabilityService(
+        loaded.graph,
+        seed=DIST_SEED,
+        dataset=loaded,
+        shards=shard_urls,
+        shard_config=TIER_CONFIG,
+    )
+
+
+def _reference_rows(request):
+    with ReliabilityService.from_dataset(
+        DIST_DATASET, DIST_SCALE, seed=DIST_SEED
+    ) as plain:
+        response = plain.estimate_batch(request)
+    return [row.estimate for row in response.results], response.engine
+
+
+def test_merge_exactness():
+    graph = load_dataset(DIST_DATASET, DIST_SCALE, DIST_SEED).graph
+    workload = [
+        (q.source, q.target, q.samples)
+        for q in _workload(graph.node_count).queries
+    ]
+    engine = BatchEngine(graph, seed=DIST_SEED)
+    full = engine.run(workload)
+
+    ranges = partition_ranges(DIST_K, engine.chunk_size, 3)
+    merged_hits = np.zeros(len(workload), dtype=np.int64)
+    merged_sweeps = 0
+    for start, stop in ranges:
+        part = BatchEngine(graph, seed=DIST_SEED).run_range(
+            workload, start, stop
+        )
+        merged_hits += part.hits
+        merged_sweeps += part.sweeps
+    merged_estimates = merged_hits / np.asarray(
+        [k for _, _, k in workload], dtype=np.int64
+    )
+
+    bit_identical = bool(
+        np.array_equal(merged_estimates, np.asarray(full.estimates))
+    )
+    section = {
+        "ranges": [[start, stop] for start, stop in ranges],
+        "chunk_size": engine.chunk_size,
+        "worlds": DIST_K,
+        "bit_identical": bit_identical,
+        "sweeps_full_run": int(full.sweeps),
+        "sweeps_merged": int(merged_sweeps),
+    }
+    _JSON_PAYLOAD["merge_exactness"] = section
+    _write_json()
+    emit(
+        "merge_exactness: {} ranges over [0, {}), bit_identical={}, "
+        "sweeps {} == {}".format(
+            len(ranges), DIST_K, bit_identical,
+            full.sweeps, merged_sweeps,
+        ),
+        "distributed_shards.txt",
+    )
+    assert bit_identical
+    assert merged_sweeps == full.sweeps
+
+
+def test_shard_scaling():
+    request = _workload(
+        load_dataset(DIST_DATASET, DIST_SCALE, DIST_SEED).graph.node_count,
+        salt=1,
+    )
+    expected, reference_engine = _reference_rows(request)
+
+    rows = []
+    all_identical = True
+    for shard_count in (1, 2):
+        workers = [_start_worker() for _ in range(shard_count)]
+        coordinator = _coordinator([w[1].url for w in workers])
+        try:
+            started = time.perf_counter()
+            response = coordinator.estimate_batch(request)
+            seconds = time.perf_counter() - started
+            got = [row.estimate for row in response.results]
+            identical = got == expected
+            all_identical = all_identical and identical
+            stats = coordinator.stats()["shards"]
+            rows.append(
+                {
+                    "shards": shard_count,
+                    "seconds": round(seconds, 4),
+                    "ranges_dispatched": stats["ranges_dispatched"],
+                    "contributing_hosts": response.engine.workers,
+                    "worlds_sampled": response.engine.worlds_sampled,
+                    "sweeps": response.engine.sweeps,
+                    "bit_identical": identical,
+                }
+            )
+        finally:
+            coordinator.close()
+            for worker in workers:
+                _stop_worker(worker)
+
+    section = {
+        "reference_sweeps": reference_engine.sweeps,
+        "rows": rows,
+        "bit_identical": all_identical,
+    }
+    _JSON_PAYLOAD["shard_scaling"] = section
+    _write_json()
+    for row in rows:
+        emit(
+            "shard_scaling: {shards} shard(s) -> {seconds}s, "
+            "{ranges_dispatched} range(s), bit_identical={bit_identical}"
+            .format(**row),
+            "distributed_shards.txt",
+        )
+    assert all_identical
+    assert all(row["sweeps"] == reference_engine.sweeps for row in rows)
+
+
+def test_failover():
+    request = _workload(
+        load_dataset(DIST_DATASET, DIST_SCALE, DIST_SEED).graph.node_count,
+        salt=2,
+    )
+    expected, _ = _reference_rows(request)
+
+    workers = [_start_worker(), _start_worker()]
+    coordinator = _coordinator([w[1].url for w in workers])
+    try:
+        # Kill one worker, then answer a cold workload: its range must
+        # be re-dispatched to the survivor with no loss of exactness.
+        _stop_worker(workers.pop(0))
+        started = time.perf_counter()
+        response = coordinator.estimate_batch(request)
+        seconds = time.perf_counter() - started
+        got = [row.estimate for row in response.results]
+        identical = got == expected
+        stats = coordinator.stats()["shards"]
+        downed = [m for m in stats["members"] if not m["healthy"]]
+        section = {
+            "seconds": round(seconds, 4),
+            "bit_identical": identical,
+            "redispatches": stats["redispatches"],
+            "healthy_after": stats["healthy"],
+            "downed_member_failures": downed[0]["failures"] if downed else 0,
+        }
+        _JSON_PAYLOAD["failover"] = section
+        _write_json()
+        emit(
+            "failover: 1 of 2 workers killed -> {seconds}s, "
+            "redispatches={redispatches}, bit_identical={bit_identical}"
+            .format(**section),
+            "distributed_shards.txt",
+        )
+        assert identical
+        assert stats["redispatches"] >= 1
+        assert stats["healthy"] == 1
+    finally:
+        coordinator.close()
+        for worker in workers:
+            _stop_worker(worker)

@@ -15,10 +15,12 @@ request/response objects in this package.  Import from here::
 """
 
 from repro.api.errors import (
+    FingerprintMismatchError,
     GraphLoadError,
     InvalidQueryError,
     PayloadTooLargeError,
     ReliabilityError,
+    ShardUnavailableError,
     UnknownEstimatorError,
 )
 from repro.api.service import (
@@ -39,6 +41,8 @@ from repro.api.types import (
     QuerySpec,
     RecommendRequest,
     RecommendResponse,
+    ShardRunRequest,
+    ShardRunResponse,
     TopKRequest,
     TopKResponse,
     UpdateRequest,
@@ -54,6 +58,8 @@ __all__ = [
     "InvalidQueryError",
     "GraphLoadError",
     "PayloadTooLargeError",
+    "FingerprintMismatchError",
+    "ShardUnavailableError",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_REWARM_TOP",
     "FAST_BATCH_PATHS",
@@ -64,6 +70,7 @@ __all__ = [
     "BatchRequest",
     "WarmRequest",
     "UpdateRequest",
+    "ShardRunRequest",
     "TopKRequest",
     "BoundsRequest",
     "RecommendRequest",
@@ -73,6 +80,7 @@ __all__ = [
     "BatchResponse",
     "WarmResponse",
     "UpdateResponse",
+    "ShardRunResponse",
     "TopKResponse",
     "BoundsResponse",
     "RecommendResponse",

@@ -59,10 +59,38 @@ class PayloadTooLargeError(ReliabilityError):
     http_status = 413
 
 
+class FingerprintMismatchError(ReliabilityError):
+    """A shard request addressed a different graph version than served.
+
+    The shard protocol carries the coordinator's graph fingerprint on
+    every dispatch; a worker whose graph (version) differs must refuse
+    rather than contribute counts from the wrong world stream.  Maps
+    onto HTTP 409 (conflict): the request was well-formed, the two
+    hosts simply disagree about state — re-sync the tier (replay the
+    ``/v1/update`` on every shard) and retry.
+    """
+
+    http_status = 409
+
+
+class ShardUnavailableError(ReliabilityError):
+    """No healthy shard could complete a dispatched world range.
+
+    Raised by the coordinator when every configured shard has failed a
+    range (after per-shard retries) and local fallback is disabled.
+    Maps onto HTTP 503: the request is fine, the tier is not — retry
+    once workers are back.
+    """
+
+    http_status = 503
+
+
 __all__ = [
     "ReliabilityError",
     "UnknownEstimatorError",
     "InvalidQueryError",
     "GraphLoadError",
     "PayloadTooLargeError",
+    "FingerprintMismatchError",
+    "ShardUnavailableError",
 ]

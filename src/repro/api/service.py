@@ -60,6 +60,7 @@ import time
 from typing import Dict, List, Optional, Tuple, Type
 
 from repro.api.errors import (
+    FingerprintMismatchError,
     GraphLoadError,
     InvalidQueryError,
     UnknownEstimatorError,
@@ -77,6 +78,8 @@ from repro.api.types import (
     RecommendRequest,
     RecommendResponse,
     ResolvedQuery,
+    ShardRunRequest,
+    ShardRunResponse,
     TopKRequest,
     TopKResponse,
     UpdateRequest,
@@ -160,7 +163,8 @@ class ReliabilityService:
 
     #: Every counted endpoint, fixed so the counter dict never resizes.
     ENDPOINTS = (
-        "estimate", "batch", "warm", "update", "topk", "bounds", "study",
+        "estimate", "batch", "warm", "update", "shard_run", "topk",
+        "bounds", "study",
     )
 
     def __init__(
@@ -779,6 +783,83 @@ class ReliabilityService:
             seed=seed,
             persistent=self.persistent,
             cache=self._cache_report(),
+        )
+
+    # ------------------------------------------------------------------
+    # shard_run (the distributed tier's worker-side primitive)
+    # ------------------------------------------------------------------
+
+    def shard_run(self, request: ShardRunRequest) -> ShardRunResponse:
+        """Evaluate a world range for a coordinator (``POST /v1/shard/run``).
+
+        The worker half of the shard protocol (:mod:`repro.distributed`):
+        sweep worlds ``[start, stop)`` of the submitted workload and
+        return integer hit counts.  The request's ``seed`` — not the
+        service's — roots the world stream, so every shard of a tier
+        draws the exact worlds the coordinator partitioned, and the
+        request's ``fingerprint`` must match the graph this service
+        currently serves: a mismatch (a shard that missed a
+        ``/v1/update``, or a coordinator that applied one first) is a
+        structured :class:`FingerprintMismatchError` (HTTP 409), never
+        silently-wrong counts.
+
+        The result cache is deliberately not involved: partial-range hit
+        counts are not estimates and have no cache identity.  Caching
+        happens once, at the coordinator, after the exact merge.
+        """
+        graph = self.graph
+        fingerprint = graph_fingerprint(graph)
+        if request.fingerprint != fingerprint:
+            raise FingerprintMismatchError(
+                f"this shard serves graph {fingerprint} (version "
+                f"{int(getattr(graph, 'version', 0))}); the request "
+                f"addresses {request.fingerprint} — re-sync the tier to "
+                f"one graph version and retry"
+            )
+        if request.start < 0 or request.stop < request.start:
+            raise InvalidQueryError(
+                f"a shard range needs 0 <= start <= stop, "
+                f"got [{request.start}, {request.stop})"
+            )
+        self._check_positive(request.chunk_size, "chunk_size")
+        if request.kernels is not None and request.kernels not in KERNEL_MODES:
+            raise InvalidQueryError(
+                f"unknown kernel mode {request.kernels!r}; "
+                f"known: {', '.join(KERNEL_MODES)}"
+            )
+        queries = self.resolve_queries(
+            request.queries, request.samples, request.max_hops
+        )
+        # A private single-process engine over the snapshot this request
+        # was fingerprint-checked against: range evaluation never touches
+        # the shared cache or pool, so nothing is shared and no lock is
+        # needed.
+        engine = BatchEngine(
+            graph,
+            seed=int(request.seed),
+            chunk_size=(
+                self.chunk_size
+                if request.chunk_size is None
+                else request.chunk_size
+            ),
+            workers=1,
+            kernels=(
+                self.kernels if request.kernels is None else request.kernels
+            ),
+            cache_capacity=1,
+        )
+        result = engine.run_range(queries, request.start, request.stop)
+        self._count("shard_run")
+        return ShardRunResponse(
+            hits=tuple(int(count) for count in result.hits),
+            start=result.start,
+            stop=result.stop,
+            worlds_evaluated=result.worlds_evaluated,
+            sweeps=result.sweeps,
+            seed=result.seed,
+            fingerprint=result.fingerprint,
+            seconds=round(result.seconds, 6),
+            query_count=len(queries),
         )
 
     # ------------------------------------------------------------------

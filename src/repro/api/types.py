@@ -449,6 +449,84 @@ class UpdateRequest:
 
 
 @dataclass(frozen=True)
+class ShardRunRequest:
+    """One world-range evaluation dispatched to a shard worker.
+
+    The shard protocol's request half (``POST /v1/shard/run``): evaluate
+    worlds ``[start, stop)`` of the given workload and return integer
+    hit counts.  ``seed`` and ``fingerprint`` are **required** — the
+    coordinator pins both so every shard draws from the same world
+    stream over the same graph version; a worker serving a different
+    fingerprint rejects with a structured 409
+    (:class:`~repro.api.errors.FingerprintMismatchError`).
+
+    ``chunk_size`` should match the coordinator's partitioning grain so
+    chunk boundaries (and hence the merged ``sweeps`` counter) line up
+    with a single-process run; hit counts are bit-identical regardless.
+    """
+
+    queries: Tuple[QuerySpec, ...]
+    start: int
+    stop: int
+    seed: int
+    fingerprint: str
+    samples: int = 1_000
+    max_hops: Optional[int] = None
+    chunk_size: Optional[int] = None
+    kernels: Optional[str] = None
+
+    _KEYS = (
+        "queries", "start", "stop", "seed", "fingerprint", "samples",
+        "max_hops", "chunk_size", "kernels",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ShardRunRequest":
+        payload = _require_mapping(payload, "a shard run request")
+        _reject_unknown_keys(payload, cls._KEYS, "a shard run request")
+        for key in ("queries", "start", "stop", "seed", "fingerprint"):
+            if key not in payload:
+                raise InvalidQueryError(
+                    f"a shard run request needs {key!r}"
+                )
+        fingerprint = payload["fingerprint"]
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise InvalidQueryError(
+                f"fingerprint must be a non-empty string, "
+                f"got {fingerprint!r}"
+            )
+        kernels = payload.get("kernels")
+        if kernels is not None and not isinstance(kernels, str):
+            raise InvalidQueryError(
+                f"kernels must be a string, got {kernels!r}"
+            )
+        return cls(
+            queries=coerce_query_specs(payload["queries"]),
+            start=_require_int(payload["start"], "start"),
+            stop=_require_int(payload["stop"], "stop"),
+            seed=_require_int(payload["seed"], "seed"),
+            fingerprint=fingerprint,
+            samples=_require_int(payload.get("samples", 1_000), "samples"),
+            max_hops=_optional_int(payload.get("max_hops"), "max_hops"),
+            chunk_size=_optional_int(payload.get("chunk_size"), "chunk_size"),
+            kernels=kernels,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": [query.to_dict() for query in self.queries],
+            "start": self.start,
+            "stop": self.stop,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "samples": self.samples,
+            "max_hops": self.max_hops,
+            "chunk_size": self.chunk_size,
+            "kernels": self.kernels,
+        }
+
+
+@dataclass(frozen=True)
 class RecommendRequest:
     """Inputs to the paper's Fig. 18 estimator decision tree."""
 
@@ -688,6 +766,96 @@ class UpdateResponse:
 
 
 @dataclass(frozen=True)
+class ShardRunResponse:
+    """A shard's answer to one world-range evaluation.
+
+    ``hits[i]`` is the integer number of worlds in ``[start, stop)``
+    (clipped by the query's own budget) in which query ``i`` of the
+    submitted workload succeeded.  ``fingerprint`` and ``seed`` echo the
+    provenance the counts were drawn under, so a coordinator can verify
+    a reply belongs to the stream it dispatched before merging it.
+
+    Unlike the other responses this one is parsed back (by the
+    coordinator's shard client), so it carries a strict ``from_dict``
+    mirroring the request types: a malformed reply from a confused host
+    becomes a structured dispatch failure, never a deep ``TypeError``
+    inside the merge.
+    """
+
+    hits: Tuple[int, ...]
+    start: int
+    stop: int
+    worlds_evaluated: int
+    sweeps: int
+    seed: int
+    fingerprint: str
+    seconds: float
+    query_count: int
+
+    _KEYS = (
+        "hits", "start", "stop", "worlds_evaluated", "sweeps", "seed",
+        "fingerprint", "seconds", "query_count",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ShardRunResponse":
+        payload = _require_mapping(payload, "a shard run response")
+        _reject_unknown_keys(payload, cls._KEYS, "a shard run response")
+        for key in cls._KEYS:
+            if key not in payload:
+                raise InvalidQueryError(
+                    f"a shard run response needs {key!r}"
+                )
+        hits = payload["hits"]
+        if not isinstance(hits, (list, tuple)):
+            raise InvalidQueryError(
+                f"hits must be a list of integers, got {hits!r}"
+            )
+        fingerprint = payload["fingerprint"]
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise InvalidQueryError(
+                f"fingerprint must be a non-empty string, "
+                f"got {fingerprint!r}"
+            )
+        seconds = payload["seconds"]
+        if isinstance(seconds, bool) or not isinstance(
+            seconds, (int, float)
+        ):
+            raise InvalidQueryError(
+                f"seconds must be a number, got {seconds!r}"
+            )
+        return cls(
+            hits=tuple(
+                _require_int(value, f"hits[{position}]")
+                for position, value in enumerate(hits)
+            ),
+            start=_require_int(payload["start"], "start"),
+            stop=_require_int(payload["stop"], "stop"),
+            worlds_evaluated=_require_int(
+                payload["worlds_evaluated"], "worlds_evaluated"
+            ),
+            sweeps=_require_int(payload["sweeps"], "sweeps"),
+            seed=_require_int(payload["seed"], "seed"),
+            fingerprint=fingerprint,
+            seconds=float(seconds),
+            query_count=_require_int(payload["query_count"], "query_count"),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": list(self.hits),
+            "start": self.start,
+            "stop": self.stop,
+            "worlds_evaluated": self.worlds_evaluated,
+            "sweeps": self.sweeps,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "seconds": self.seconds,
+            "query_count": self.query_count,
+        }
+
+
+@dataclass(frozen=True)
 class TopKResponse:
     """Ranked (node, reliability) rows for one top-k query."""
 
@@ -758,6 +926,7 @@ __all__ = [
     "TopKRequest",
     "BoundsRequest",
     "UpdateRequest",
+    "ShardRunRequest",
     "RecommendRequest",
     "QueryResult",
     "EngineReport",
@@ -765,6 +934,7 @@ __all__ = [
     "BatchResponse",
     "WarmResponse",
     "UpdateResponse",
+    "ShardRunResponse",
     "TopKResponse",
     "BoundsResponse",
     "RecommendResponse",

@@ -204,6 +204,19 @@ def _build_parser() -> argparse.ArgumentParser:
              f"background; 0 disables (default: {DEFAULT_REWARM_TOP})",
     )
     serve_cmd.add_argument(
+        "--coordinator", action="store_true",
+        help="serve as a shard-tier coordinator: engine-backed "
+             "/v1/batch workloads are partitioned into world ranges "
+             "and fanned out to the --shards workers, with integer "
+             "hit counts merged exactly (see docs/distributed.md)",
+    )
+    serve_cmd.add_argument(
+        "--shards", default=None, metavar="HOST:PORT,HOST:PORT,...",
+        help="comma-separated shard worker addresses (plain `repro "
+             "serve` processes over the same dataset, scale, and "
+             "seed); requires --coordinator",
+    )
+    serve_cmd.add_argument(
         "--verbose", action="store_true",
         help="log one line per handled HTTP request",
     )
@@ -278,10 +291,18 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 
-def _open_service(args: argparse.Namespace, **options) -> ReliabilityService:
-    """The one place a command obtains its facade."""
+def _open_service(
+    args: argparse.Namespace,
+    service_cls=ReliabilityService,
+    **options,
+) -> ReliabilityService:
+    """The one place a command obtains its facade.
+
+    ``service_cls`` lets ``repro serve --coordinator`` substitute the
+    distributed facade while keeping one construction/error path.
+    """
     try:
-        return ReliabilityService.from_dataset(
+        return service_cls.from_dataset(
             args.dataset, args.scale, args.seed, **options
         )
     except ReliabilityError as error:
@@ -518,25 +539,56 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"repro serve: --rewarm-top must be zero (disabled) or "
             f"positive, got {args.rewarm_top}"
         )
-    service = _open_service(
-        args,
+    if args.coordinator and not args.shards:
+        raise SystemExit(
+            "repro serve: --coordinator needs --shards "
+            "host:port,host:port,..."
+        )
+    if args.shards and not args.coordinator:
+        raise SystemExit(
+            "repro serve: --shards only applies to a coordinator; "
+            "add --coordinator"
+        )
+    options = dict(
         cache_dir=args.cache_dir,
         chunk_size=args.chunk_size,
         workers=args.workers,
         kernels=args.kernels,
     )
+    service_cls = ReliabilityService
+    if args.coordinator:
+        from repro.distributed import (
+            CoordinatedReliabilityService,
+            parse_shard_list,
+        )
+
+        try:
+            options["shards"] = parse_shard_list(args.shards)
+        except ValueError as error:
+            raise SystemExit(f"repro serve: --shards: {error}") from None
+        service_cls = CoordinatedReliabilityService
+    service = _open_service(args, service_cls, **options)
 
     def announce(server) -> None:
         title = service.dataset.title
+        role = "coordinating" if args.coordinator else "serving"
         print(
-            f"serving {title} ({args.scale}, seed={args.seed}) "
+            f"{role} {title} ({args.scale}, seed={args.seed}) "
             f"on {server.url}",
             flush=True,
         )
+        if args.coordinator:
+            shard_urls = [
+                member.url for member in service.coordinator.members
+            ]
+            print(
+                f"shards ({len(shard_urls)}): {', '.join(shard_urls)}",
+                flush=True,
+            )
         print(
             "endpoints: POST /v1/estimate, POST /v1/batch, POST /v1/warm, "
-            "POST /v1/update, GET /v1/health, GET /v1/stats  "
-            "(Ctrl-C to stop)",
+            "POST /v1/update, POST /v1/shard/run, GET /v1/health, "
+            "GET /v1/stats  (Ctrl-C to stop)",
             flush=True,
         )
 

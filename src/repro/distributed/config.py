@@ -1,0 +1,124 @@
+"""Tuning knobs of the distributed shard tier (env-var backed).
+
+Every knob follows the repo's convention for operational levers
+(``REPRO_ENGINE_WORKERS``, ``REPRO_SERVE_MAX_BODY``, ...): an explicit
+value wins, else the environment variable, else the baked-in default —
+and a malformed or out-of-range override falls back to the default
+rather than disabling the tier.  None of these knobs can affect a
+single bit of any estimate (the determinism contract makes retries and
+re-dispatch value-transparent); they trade only wall-clock patience for
+failure-detection latency.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Seconds one dispatch attempt may take before it counts as failed.
+DEFAULT_TIMEOUT = 30.0
+
+#: Extra attempts against the *same* shard before it is marked down.
+DEFAULT_RETRIES = 2
+
+#: Seconds before the first same-shard retry; doubles per attempt.
+DEFAULT_BACKOFF = 0.1
+
+#: Seconds an unhealthy shard sits out before the coordinator probes it
+#: again with real work (optimistic revival — determinism makes a probe
+#: that succeeds indistinguishable from any other dispatch).
+DEFAULT_COOLDOWN = 5.0
+
+#: Whether the coordinator may evaluate a range itself when every shard
+#: has failed it.  On by default: availability costs nothing because
+#: the local engine computes the exact same counts.
+DEFAULT_LOCAL_FALLBACK = True
+
+TIMEOUT_ENV_VAR = "REPRO_SHARD_TIMEOUT"
+RETRIES_ENV_VAR = "REPRO_SHARD_RETRIES"
+BACKOFF_ENV_VAR = "REPRO_SHARD_BACKOFF"
+COOLDOWN_ENV_VAR = "REPRO_SHARD_COOLDOWN"
+LOCAL_FALLBACK_ENV_VAR = "REPRO_SHARD_LOCAL_FALLBACK"
+
+
+def _env_float(name: str, default: float, minimum: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
+
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    return default
+
+
+@dataclass(frozen=True)
+class ShardTierConfig:
+    """The coordinator's robustness knobs, resolved once per service."""
+
+    timeout: float = DEFAULT_TIMEOUT
+    retries: int = DEFAULT_RETRIES
+    backoff: float = DEFAULT_BACKOFF
+    cooldown: float = DEFAULT_COOLDOWN
+    local_fallback: bool = DEFAULT_LOCAL_FALLBACK
+
+    @classmethod
+    def from_env(cls) -> "ShardTierConfig":
+        """Resolve every knob from the environment (defaults otherwise)."""
+        return cls(
+            timeout=_env_float(TIMEOUT_ENV_VAR, DEFAULT_TIMEOUT, 0.001),
+            retries=_env_int(RETRIES_ENV_VAR, DEFAULT_RETRIES, 0),
+            backoff=_env_float(BACKOFF_ENV_VAR, DEFAULT_BACKOFF, 0.0),
+            cooldown=_env_float(COOLDOWN_ENV_VAR, DEFAULT_COOLDOWN, 0.0),
+            local_fallback=_env_bool(
+                LOCAL_FALLBACK_ENV_VAR, DEFAULT_LOCAL_FALLBACK
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        """The ``/v1/stats`` shard-section echo of the effective knobs."""
+        return {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "cooldown": self.cooldown,
+            "local_fallback": self.local_fallback,
+        }
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_RETRIES",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_COOLDOWN",
+    "DEFAULT_LOCAL_FALLBACK",
+    "TIMEOUT_ENV_VAR",
+    "RETRIES_ENV_VAR",
+    "BACKOFF_ENV_VAR",
+    "COOLDOWN_ENV_VAR",
+    "LOCAL_FALLBACK_ENV_VAR",
+    "ShardTierConfig",
+]

@@ -123,6 +123,32 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 @dataclass(frozen=True)
+class RangeResult:
+    """Integer hit counts for one world range of a workload.
+
+    The primitive of the distributed shard tier
+    (:mod:`repro.distributed`): a shard evaluates worlds ``[start,
+    stop)`` and returns raw per-query hit *counts* — not estimates —
+    because integer counts are what a coordinator can merge exactly.
+    ``hits`` is aligned with the submitted query order (duplicates
+    kept, like :attr:`BatchResult.estimates`).
+    """
+
+    queries: Tuple[BatchQuery, ...]  # original order, duplicates kept
+    hits: np.ndarray  # int64, aligned with `queries`
+    start: int
+    stop: int
+    worlds_evaluated: int  # worlds actually swept (budgets clip the range)
+    sweeps: int
+    seconds: float
+    seed: int
+    fingerprint: str
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
 class BatchResult:
     """Estimates plus engine instrumentation for one workload run."""
 
@@ -457,7 +483,14 @@ class BatchEngine:
             return shared_pool(self.graph, self.workers)
         return None
 
-    def _query_key(self, query: BatchQuery):
+    def query_key(self, query: BatchQuery):
+        """The exact result-cache key of ``query`` under this engine.
+
+        Public because the distributed coordinator performs its own
+        cache lookups before fanning pending work out to shards — the
+        key must be *the same function* the local engine uses, or the
+        tiers would disagree about what is warm.
+        """
         return result_key(
             self.fingerprint, query.source, query.target,
             query.samples, self.seed, query.max_hops,
@@ -480,7 +513,7 @@ class BatchEngine:
         cache_hits = cache_misses = 0
 
         for index, query in enumerate(plan.queries):
-            cached = self.cache.get(self._query_key(query))
+            cached = self.cache.get(self.query_key(query))
             if cached is None:
                 cache_misses += 1
                 pending[index] = True
@@ -544,7 +577,7 @@ class BatchEngine:
             # however many queries the sweep resolved).
             self.cache.put_many(
                 (
-                    self._query_key(plan.queries[index]),
+                    self.query_key(plan.queries[index]),
                     float(unique_estimates[index]),
                 )
                 for index in np.nonzero(pending)[0]
@@ -563,6 +596,65 @@ class BatchEngine:
             # `pending` still marks this run's cache misses; its negation
             # is the per-unique-query provenance, scattered like estimates.
             from_cache=plan.scatter(~pending),
+            fingerprint=self.fingerprint,
+        )
+
+    def run_range(
+        self, queries: Iterable[QueryLike], start: int, stop: int
+    ) -> RangeResult:
+        """Integer hit counts for worlds ``[start, stop)`` of a workload.
+
+        The range-restricted entry point the distributed shard tier is
+        built on: a shard evaluates only its assigned slice of the world
+        stream and returns per-query hit counts, which a coordinator
+        sums across shards.  Because world ``i`` is a pure function of
+        ``(graph, seed, i)`` and integer addition is associative, the
+        merged counts equal what one process sweeping ``[0, K)`` would
+        accumulate — bit for bit — however the range is partitioned,
+        retried, or re-dispatched.
+
+        Budgets clip the range exactly as in :meth:`run`: a query with
+        ``samples <= start`` contributes zero hits here, and worlds at
+        or beyond every budget are never materialised (``stop`` is
+        clipped to the plan's largest budget).  The result cache is
+        not consulted or written — raw counts for a partial range are
+        not estimates and have no cache identity.
+
+        Chunk boundaries fall at ``start + i * chunk_size``; when
+        ``start`` is chunk-aligned (the coordinator always aligns its
+        partitions) the union of ranges performs exactly the sweeps of
+        the single-process run, so even the ``sweeps`` counter merges
+        exactly.
+        """
+        start = int(start)
+        stop = int(stop)
+        if start < 0 or stop < start:
+            raise ValueError(
+                f"a world range needs 0 <= start <= stop, "
+                f"got [{start}, {stop})"
+            )
+        started = time.perf_counter()
+        plan = plan_queries(self.graph, queries)
+        hits = np.zeros(plan.unique_count, dtype=np.int64)
+        pending = np.ones(plan.unique_count, dtype=bool)
+        bounded_stop = min(stop, plan.k_max)
+        sweeps = 0
+        for chunk_start in range(start, bounded_stop, self.chunk_size):
+            count = min(self.chunk_size, bounded_stop - chunk_start)
+            chunk_hits, chunk_sweeps = self.evaluate_chunk(
+                chunk_start, count, plan.groups, pending, plan.unique_count
+            )
+            hits += chunk_hits
+            sweeps += chunk_sweeps
+        return RangeResult(
+            queries=tuple(plan.queries[i] for i in plan.assignment),
+            hits=plan.scatter(hits),
+            start=start,
+            stop=stop,
+            worlds_evaluated=max(bounded_stop - start, 0),
+            sweeps=sweeps,
+            seconds=time.perf_counter() - started,
+            seed=self.seed,
             fingerprint=self.fingerprint,
         )
 
@@ -634,6 +726,7 @@ __all__ = [
     "SWEEP_MODES",
     "WORKERS_ENV_VAR",
     "BatchResult",
+    "RangeResult",
     "BatchEngine",
     "estimate_workload",
     "resolve_kernels",

@@ -16,11 +16,13 @@ from repro.serve.server import (
     DEFAULT_PORT,
     MAX_BODY_BYTES,
     MAX_BODY_ENV_VAR,
+    SHARD_RUN_DELAY_ENV_VAR,
     ReliabilityHTTPServer,
     ReliabilityRequestHandler,
     create_server,
     max_body_bytes,
     serve,
+    shard_run_delay,
 )
 
 __all__ = [
@@ -28,9 +30,11 @@ __all__ = [
     "DEFAULT_PORT",
     "MAX_BODY_BYTES",
     "MAX_BODY_ENV_VAR",
+    "SHARD_RUN_DELAY_ENV_VAR",
     "ReliabilityHTTPServer",
     "ReliabilityRequestHandler",
     "create_server",
     "max_body_bytes",
     "serve",
+    "shard_run_delay",
 ]

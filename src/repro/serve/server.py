@@ -13,8 +13,17 @@ Endpoints (all JSON)::
     POST /v1/batch      BatchRequest     -> BatchResponse
     POST /v1/warm       WarmRequest      -> WarmResponse
     POST /v1/update     UpdateRequest    -> UpdateResponse
+    POST /v1/shard/run  ShardRunRequest  -> ShardRunResponse
     GET  /v1/health     liveness payload
     GET  /v1/stats      service-lifetime counters + cache statistics
+
+``/v1/shard/run`` is the distributed tier's worker-side primitive
+(:mod:`repro.distributed`): evaluate one world range, return integer
+hit counts.  It is registered on *every* server — any plain ``repro
+serve`` can be recruited as a shard worker — and a coordinator
+(``repro serve --coordinator --shards ...``) serves the same surface
+with its ``/v1/batch`` fanned out across workers and a ``shards``
+health section added to ``/v1/stats``.
 
 The batch endpoint returns the same JSON document ``repro batch``
 prints — same engine report, same per-query rows — so a client can move
@@ -54,6 +63,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -67,6 +77,7 @@ from repro.api.service import DEFAULT_REWARM_TOP, ReliabilityService
 from repro.api.types import (
     BatchRequest,
     EstimateRequest,
+    ShardRunRequest,
     UpdateRequest,
     WarmRequest,
 )
@@ -81,6 +92,29 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Environment override for the body cap — deployments fronting the
 #: server with their own limits (or test rigs) tune it without a fork.
 MAX_BODY_ENV_VAR = "REPRO_SERVE_MAX_BODY"
+
+
+#: Seconds ``/v1/shard/run`` sleeps before evaluating — a fault-drill
+#: hook: the kill-a-worker-mid-request tests (and operators rehearsing
+#: failover) use it to widen the window in which a worker can vanish
+#: with a dispatch in flight.  Unset, malformed, or non-positive = 0.
+SHARD_RUN_DELAY_ENV_VAR = "REPRO_SHARD_RUN_DELAY"
+
+
+def shard_run_delay() -> float:
+    """The effective pre-evaluation delay of ``/v1/shard/run`` (seconds).
+
+    Read per request, like :func:`max_body_bytes`, so a drill can arm
+    and disarm it without restarting the worker.
+    """
+    raw = os.environ.get(SHARD_RUN_DELAY_ENV_VAR)
+    if raw is None:
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 0.0
+    return value if value > 0 else 0.0
 
 
 def max_body_bytes() -> int:
@@ -138,7 +172,7 @@ class ReliabilityHTTPServer(ThreadingHTTPServer):
 
 
 class ReliabilityRequestHandler(BaseHTTPRequestHandler):
-    """Routes the six ``/v1`` endpoints onto the bound service."""
+    """Routes the seven ``/v1`` endpoints onto the bound service."""
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -245,6 +279,7 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
                 WarmRequest.from_dict(payload)
             ).to_dict(),
             "/v1/update": self._handle_update,
+            "/v1/shard/run": self._handle_shard_run,
         }
 
     def _handle_update(self, payload: Any) -> Dict[str, Any]:
@@ -267,6 +302,20 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
                 daemon=True,
             ).start()
         return response
+
+    def _handle_shard_run(self, payload: Any) -> Dict[str, Any]:
+        """Evaluate one world range for a coordinator (shard-tier RPC).
+
+        The optional :func:`shard_run_delay` sleep runs *before* the
+        service call, in the dispatch window a coordinator observes —
+        exactly where a fault drill wants the worker to be killable.
+        """
+        delay = shard_run_delay()
+        if delay > 0:
+            time.sleep(delay)
+        return self.server.service.shard_run(
+            ShardRunRequest.from_dict(payload)
+        ).to_dict()
 
     # ------------------------------------------------------------------
     # IO helpers
@@ -410,9 +459,11 @@ __all__ = [
     "DEFAULT_PORT",
     "MAX_BODY_BYTES",
     "MAX_BODY_ENV_VAR",
+    "SHARD_RUN_DELAY_ENV_VAR",
     "ReliabilityHTTPServer",
     "ReliabilityRequestHandler",
     "create_server",
     "max_body_bytes",
     "serve",
+    "shard_run_delay",
 ]

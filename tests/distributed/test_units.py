@@ -1,0 +1,200 @@
+"""Unit tests for the shard-tier building blocks.
+
+Partitioning is where exactness lives (chunk-aligned cuts keep every
+shard's sweep bookkeeping identical to the single-process run), the
+config module is the operator surface (``REPRO_SHARD_*``), and the
+client helpers decide which failures are retryable — so all three are
+pinned without any network in sight.
+"""
+
+import pytest
+
+from repro.api import (
+    FingerprintMismatchError,
+    InvalidQueryError,
+    ShardUnavailableError,
+)
+from repro.distributed import (
+    BACKOFF_ENV_VAR,
+    COOLDOWN_ENV_VAR,
+    LOCAL_FALLBACK_ENV_VAR,
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    ShardTierConfig,
+    normalize_shard_url,
+    parse_shard_list,
+    partition_ranges,
+    rejection_from_body,
+)
+
+
+class TestPartitionRanges:
+    def test_covers_the_range_contiguously(self):
+        ranges = partition_ranges(1000, 64, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1000
+        for (_, stop), (next_start, _) in zip(ranges, ranges[1:]):
+            assert stop == next_start
+
+    def test_cuts_fall_on_chunk_boundaries(self):
+        for total, chunk, parts in [
+            (1000, 64, 3),
+            (999, 7, 5),
+            (512, 256, 4),
+            (100, 1, 9),
+        ]:
+            ranges = partition_ranges(total, chunk, parts)
+            for start, stop in ranges[:-1]:
+                assert start % chunk == 0
+                assert stop % chunk == 0
+            assert ranges[-1][1] == total
+
+    def test_never_more_parts_than_chunks(self):
+        # 100 worlds at chunk 64 is two chunks: at most two ranges no
+        # matter how many shards are available.
+        assert len(partition_ranges(100, 64, 8)) == 2
+        assert len(partition_ranges(64, 64, 8)) == 1
+
+    def test_balanced_within_one_chunk(self):
+        sizes = [stop - start for start, stop in partition_ranges(1024, 64, 3)]
+        assert max(sizes) - min(sizes) <= 64
+
+    def test_degenerate_inputs(self):
+        assert partition_ranges(0, 64, 3) == []
+        assert partition_ranges(-5, 64, 3) == []
+        assert partition_ranges(10, 64, 0) == [(0, 10)]
+
+    @pytest.mark.parametrize("total", [1, 63, 64, 65, 1000, 4096])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 7])
+    def test_disjoint_cover_property(self, total, parts):
+        ranges = partition_ranges(total, 64, parts)
+        covered = 0
+        for start, stop in ranges:
+            assert start == covered
+            assert stop > start
+            covered = stop
+        assert covered == total
+
+
+class TestShardTierConfig:
+    def test_defaults(self):
+        config = ShardTierConfig()
+        assert config.timeout == 30.0
+        assert config.retries == 2
+        assert config.backoff == 0.1
+        assert config.cooldown == 5.0
+        assert config.local_fallback is True
+
+    def test_from_env_reads_every_knob(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "2.5")
+        monkeypatch.setenv(RETRIES_ENV_VAR, "4")
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0.01")
+        monkeypatch.setenv(COOLDOWN_ENV_VAR, "1.5")
+        monkeypatch.setenv(LOCAL_FALLBACK_ENV_VAR, "off")
+        config = ShardTierConfig.from_env()
+        assert config == ShardTierConfig(
+            timeout=2.5,
+            retries=4,
+            backoff=0.01,
+            cooldown=1.5,
+            local_fallback=False,
+        )
+
+    def test_malformed_values_fall_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "fast")
+        monkeypatch.setenv(RETRIES_ENV_VAR, "-3")
+        monkeypatch.setenv(LOCAL_FALLBACK_ENV_VAR, "maybe")
+        config = ShardTierConfig.from_env()
+        assert config.timeout == 30.0
+        assert config.retries == 2  # below the minimum -> the default
+        assert config.local_fallback is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("No", False), ("off", False),
+    ])
+    def test_boolean_spellings(self, monkeypatch, value, expected):
+        monkeypatch.setenv(LOCAL_FALLBACK_ENV_VAR, value)
+        assert ShardTierConfig.from_env().local_fallback is expected
+
+    def test_to_dict_echoes_every_knob(self):
+        document = ShardTierConfig().to_dict()
+        assert set(document) == {
+            "timeout", "retries", "backoff", "cooldown", "local_fallback"
+        }
+
+
+class TestShardAddresses:
+    def test_bare_host_port_gains_scheme(self):
+        assert normalize_shard_url("127.0.0.1:8311") == "http://127.0.0.1:8311"
+
+    def test_explicit_scheme_and_trailing_slash(self):
+        assert normalize_shard_url("http://worker-a:80/") == "http://worker-a:80"
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_shard_url("   ")
+
+    def test_parse_shard_list(self):
+        assert parse_shard_list("a:1, b:2 ,http://c:3/") == (
+            "http://a:1",
+            "http://b:2",
+            "http://c:3",
+        )
+
+    def test_parse_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            parse_shard_list(" , ,")
+
+
+def encoded(document):
+    import json
+
+    return json.dumps(document).encode("utf-8")
+
+
+class TestRejectionMapping:
+    def test_known_types_reconstruct_with_status(self):
+        body = encoded(
+            {
+                "error": {
+                    "type": "FingerprintMismatchError",
+                    "message": "stale shard",
+                }
+            }
+        )
+        rejection = rejection_from_body(body)
+        assert isinstance(rejection, FingerprintMismatchError)
+        assert rejection.http_status == 409
+        assert "stale shard" in str(rejection)
+
+    def test_invalid_query_maps_to_400(self):
+        rejection = rejection_from_body(
+            encoded(
+                {"error": {"type": "InvalidQueryError", "message": "bad"}}
+            )
+        )
+        assert isinstance(rejection, InvalidQueryError)
+        assert rejection.http_status == 400
+
+    def test_shard_unavailable_maps_to_503(self):
+        rejection = rejection_from_body(
+            encoded(
+                {"error": {"type": "ShardUnavailableError", "message": "x"}}
+            )
+        )
+        assert isinstance(rejection, ShardUnavailableError)
+
+    @pytest.mark.parametrize("body", [
+        b"",
+        b"not json at all",
+        b"\xff\xfe garbage",
+        encoded("oops"),
+        encoded({}),
+        encoded({"error": "string"}),
+        encoded({"error": {"message": "typeless"}}),
+        encoded({"error": {"type": "KeyboardInterrupt", "message": "n"}}),
+        encoded({"error": {"type": 7, "message": "numeric type"}}),
+    ])
+    def test_everything_else_is_not_a_rejection(self, body):
+        assert rejection_from_body(body) is None
