@@ -1,0 +1,217 @@
+"""Adaptive query routing: auto vs the static tree vs the best fixed pick.
+
+Not a paper table — this benchmarks the ISSUE 9 router.  The paper's
+recommendation layer (§6) is a *static* decision tree: it knows the
+estimator family's asymptotics but nothing about this host, this graph,
+or this query mix.  The :class:`~repro.routing.AdaptiveRouter` keeps the
+tree as its cold-start prior and then routes on measured per-bucket
+telemetry (seconds/sample x estimate dispersion), so ``method="auto"``
+converges onto whichever estimator actually wins here.
+
+Three strategies over the same deterministic workload (fresh service
+each, same seed):
+
+* ``fixed:<method>`` — every candidate estimator named explicitly, one
+  run each.  The cheapest of these is the *best fixed* pick, an oracle
+  chosen in hindsight.
+* ``static`` — the paper's tree, frozen: the method a cold router picks
+  for this workload shape, named for every query.  (Its wall-clock is
+  the matching fixed run.)
+* ``auto`` — the adaptive router live: pays cold-start and exploration,
+  then routes on measurements.
+
+Asserted unconditionally (the correctness gates):
+
+* **bit identity** — every auto answer equals the same request naming
+  the routed method against a fresh identical service;
+* the router actually *measured* — warm ``measured`` decisions occur,
+  exploration stays in its epsilon share, and every decision's method is
+  a registered candidate.
+
+The wall-clock *regret* (auto seconds / best-fixed seconds) is recorded
+in the JSON and only gated by ``REPRO_ROUTER_REGRET_CEILING`` (default
+3.0; ``0`` records without asserting — what CI uses, wall-clock ratios
+flake on shared runners).  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_router.py -q -s
+
+Environment knobs: ``REPRO_ROUTER_SCALE`` (default tiny),
+``REPRO_ROUTER_PAIRS`` (default 6), ``REPRO_ROUTER_ROUNDS`` (default 8),
+``REPRO_ROUTER_K`` (default 200).  Machine-readable results land in
+``benchmarks/output/router.json`` (uploaded as a CI artifact).
+"""
+
+import json
+import os
+import time
+from collections import Counter
+
+from repro.api import EstimateRequest, ReliabilityService
+from repro.routing import DEFAULT_CANDIDATES, AdaptiveRouter, QueryTelemetry
+
+from benchmarks._shared import OUTPUT_DIRECTORY, emit
+
+ROUTER_SEED = 3
+ROUTER_DATASET = os.environ.get("REPRO_ROUTER_DATASET", "lastfm")
+ROUTER_SCALE = os.environ.get("REPRO_ROUTER_SCALE", "tiny")
+ROUTER_PAIRS = int(os.environ.get("REPRO_ROUTER_PAIRS", "6"))
+ROUTER_ROUNDS = int(os.environ.get("REPRO_ROUTER_ROUNDS", "8"))
+ROUTER_K = int(os.environ.get("REPRO_ROUTER_K", "200"))
+#: Ceiling asserted on auto seconds / best-fixed seconds; ``0`` records
+#: without asserting (what CI uses).
+REGRET_CEILING = float(os.environ.get("REPRO_ROUTER_REGRET_CEILING", "3.0"))
+
+JSON_OUTPUT = OUTPUT_DIRECTORY / "router.json"
+
+
+def _service():
+    return ReliabilityService.from_dataset(
+        ROUTER_DATASET, ROUTER_SCALE, seed=ROUTER_SEED
+    )
+
+
+def _pairs(node_count):
+    """A deterministic spread of distinct s-t pairs."""
+    pairs = []
+    for index in range(ROUTER_PAIRS):
+        source = (index * 37) % node_count
+        target = (index * 61 + 17) % node_count
+        if source == target:
+            target = (target + 1) % node_count
+        pairs.append((source, target))
+    return pairs
+
+
+def _drive(service, pairs, method):
+    """The full workload through one service; returns (seconds, responses)."""
+    responses = []
+    started = time.perf_counter()
+    for _ in range(ROUTER_ROUNDS):
+        for source, target in pairs:
+            responses.append(
+                service.estimate(
+                    EstimateRequest(
+                        source=source,
+                        target=target,
+                        samples=ROUTER_K,
+                        method=method,
+                    )
+                )
+            )
+    return time.perf_counter() - started, responses
+
+
+def test_router_regret_and_bit_identity():
+    probe = _service()
+    node_count = probe.graph.node_count
+    probe.close()
+    pairs = _pairs(node_count)
+    query_count = ROUTER_ROUNDS * len(pairs)
+
+    # The paper's static tree, frozen for this workload shape.
+    static_method = AdaptiveRouter(QueryTelemetry()).route(
+        fingerprint="static-probe", samples=ROUTER_K
+    ).method
+
+    fixed = {}
+    for candidate in DEFAULT_CANDIDATES:
+        service = _service()
+        try:
+            seconds, _ = _drive(service, pairs, candidate)
+        finally:
+            service.close()
+        fixed[candidate] = seconds
+
+    service = _service()
+    try:
+        auto_seconds, auto_responses = _drive(service, pairs, "auto")
+        decisions = dict(service.router.statistics()["decisions"])
+    finally:
+        service.close()
+
+    methods_routed = Counter(
+        response.method for response in auto_responses
+    )
+    reasons = Counter(
+        response.routing["reason"] for response in auto_responses
+    )
+    assert all(method in DEFAULT_CANDIDATES for method in methods_routed)
+    assert reasons["measured"] > 0, reasons
+    # Exploration stays in its epsilon share (one warm decision in ten,
+    # and cold-start decisions never explore).
+    assert reasons["exploration"] <= query_count // 10 + 1, reasons
+
+    # Bit identity: replay every auto answer as a named request against
+    # a fresh identical service.  No updates ever land here, so each
+    # method's once-built index is the same on both sides.
+    replay = _service()
+    try:
+        for response in auto_responses:
+            named = replay.estimate(
+                EstimateRequest(
+                    source=response.source,
+                    target=response.target,
+                    samples=response.samples,
+                    method=response.method,
+                )
+            )
+            assert named.estimate == response.estimate, (
+                response.method,
+                response.source,
+                response.target,
+            )
+            assert named.routing is None
+    finally:
+        replay.close()
+
+    best_fixed = min(fixed, key=fixed.get)
+    regret = auto_seconds / fixed[best_fixed]
+    payload = {
+        "dataset": ROUTER_DATASET,
+        "scale": ROUTER_SCALE,
+        "pairs": len(pairs),
+        "rounds": ROUTER_ROUNDS,
+        "samples": ROUTER_K,
+        "queries": query_count,
+        "cpu_count": os.cpu_count(),
+        "fixed_seconds": {
+            method: round(seconds, 4) for method, seconds in fixed.items()
+        },
+        "best_fixed": best_fixed,
+        "static_method": static_method,
+        "static_seconds": round(fixed[static_method], 4),
+        "auto_seconds": round(auto_seconds, 4),
+        "regret_vs_best_fixed": round(regret, 3),
+        "speedup_vs_static": round(fixed[static_method] / auto_seconds, 3),
+        "decisions": decisions,
+        "methods_routed": dict(methods_routed),
+        "converged_to": methods_routed.most_common(1)[0][0],
+        "bit_identical": True,
+    }
+    OUTPUT_DIRECTORY.mkdir(exist_ok=True)
+    JSON_OUTPUT.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        "adaptive routing: "
+        f"{len(pairs)} pairs x {ROUTER_ROUNDS} rounds, K={ROUTER_K}, "
+        f"{ROUTER_DATASET}/{ROUTER_SCALE}, {os.cpu_count()} core(s)",
+    ] + [
+        f"  fixed:{method:<12s}: {seconds:8.3f} s"
+        + ("  <- best fixed" if method == best_fixed else "")
+        + ("  <- static tree pick" if method == static_method else "")
+        for method, seconds in sorted(fixed.items(), key=lambda kv: kv[1])
+    ] + [
+        f"  auto             : {auto_seconds:8.3f} s  "
+        f"(regret {regret:.2f}x vs best fixed, bit-identical)",
+        f"  decisions        : {dict(sorted(decisions.items()))}",
+        f"  methods routed   : {dict(methods_routed.most_common())}",
+    ]
+    emit("\n".join(lines), "router.txt")
+
+    if REGRET_CEILING > 0:
+        assert regret <= REGRET_CEILING, (
+            f"auto spent {regret:.2f}x the best fixed pick "
+            f"(ceiling {REGRET_CEILING}x)"
+        )

@@ -55,6 +55,7 @@ conformance tests in ``tests/api`` pin the equivalence.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from typing import Dict, List, Optional, Tuple, Type
@@ -110,11 +111,18 @@ from repro.engine.cache import (
 )
 from repro.engine.pool import WorkerPool
 from repro.queries.top_k import top_k_reliable_targets
+from repro.routing import AdaptiveRouter, QueryTelemetry, RoutingDecision
 from repro.util.rng import stable_substream
 
 #: Batch-path tags with an engine or grouped fast path (``workers`` /
 #: ``cache_dir`` are honoured there; the per-query loop ignores both).
 FAST_BATCH_PATHS = ("engine", "bag_grouped")
+
+#: The pseudo-method that routes through the adaptive router: a request
+#: carrying it is resolved to a concrete registered estimator before any
+#: dispatch, and the response reports both the concrete method and the
+#: routing decision that picked it.
+AUTO_METHOD = "auto"
 
 #: Bound on distinct keys the re-warm query log tracks.  Beyond it, new
 #: keys are dropped (never counted keys evicted): re-warming targets the
@@ -164,7 +172,7 @@ class ReliabilityService:
     #: Every counted endpoint, fixed so the counter dict never resizes.
     ENDPOINTS = (
         "estimate", "batch", "warm", "update", "shard_run", "topk",
-        "bounds", "study",
+        "bounds", "study", "recommend",
     )
 
     def __init__(
@@ -235,6 +243,16 @@ class ReliabilityService:
         ] = {}
         self._rewarm_runs = 0
         self._rewarm_queries = 0
+        #: What every served query measured, bucketed by (fingerprint,
+        #: method, K band, hop band) — see :mod:`repro.routing`.
+        self.telemetry = QueryTelemetry()
+        #: Routes ``estimator="auto"`` requests and backs ``recommend()``.
+        self.router = AdaptiveRouter(self.telemetry)
+        #: Index-backed methods whose index a live update *dropped* (to
+        #: be lazily rebuilt): demoted by the router and ``recommend()``
+        #: until a per-estimator request forces the rebuild.  Guarded by
+        #: the counts micro-lock; read as a snapshot.
+        self._dropped_indexes: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -444,6 +462,71 @@ class ReliabilityService:
         with self._counts_lock:
             self._request_counts[endpoint] += 1
 
+    # ------------------------------------------------------------------
+    # Routing plumbing (estimator="auto" and recommend())
+    # ------------------------------------------------------------------
+
+    def _dropped_snapshot(self) -> Tuple[str, ...]:
+        """Methods currently demoted for a dropped (not yet rebuilt) index."""
+        if not self._dropped_indexes:
+            return ()
+        with self._counts_lock:
+            return tuple(sorted(self._dropped_indexes))
+
+    def _mark_index_rebuilt(self, method: str) -> None:
+        """Lift ``method``'s demotion: a per-estimator request just served
+        through it, so any lazily-dropped index has been rebuilt."""
+        if not self._dropped_indexes:
+            return
+        with self._counts_lock:
+            self._dropped_indexes.discard(method)
+
+    def _route(
+        self,
+        *,
+        fingerprint: str,
+        samples: int,
+        max_hops: Optional[int],
+        memory_limited: bool = False,
+    ) -> RoutingDecision:
+        """One router decision against the given graph snapshot."""
+        return self.router.route(
+            fingerprint=fingerprint,
+            samples=samples,
+            max_hops=max_hops,
+            memory_limited=memory_limited,
+            unavailable=self._dropped_snapshot(),
+        )
+
+    def _resolve_auto_batch(
+        self, request: BatchRequest
+    ) -> Tuple[BatchRequest, Optional[RoutingDecision]]:
+        """Resolve ``method="auto"`` to a concrete method for a workload.
+
+        The routing key is the workload's *shape*: the request-level
+        sample budget and whether any entry is hop-bounded (a single
+        bounded entry restricts the pool to hop-capable methods — a
+        router that picked a fallback-path method would make the whole
+        batch unservable).  Named-method requests pass through untouched.
+        """
+        if request.method != AUTO_METHOD:
+            return request, None
+        max_hops = request.max_hops
+        if max_hops is None:
+            bounded = [
+                spec.max_hops
+                for spec in request.queries
+                if spec.max_hops is not None
+            ]
+            if bounded:
+                max_hops = bounded[0]
+        decision = self._route(
+            fingerprint=graph_fingerprint(self.graph),
+            samples=request.samples,
+            max_hops=max_hops,
+        )
+        return dataclasses.replace(request, method=decision.method), decision
+
     def _shared_pool(
         self, graph: UncertainGraph, workers: int
     ) -> Optional[WorkerPool]:
@@ -539,7 +622,23 @@ class ReliabilityService:
         requests therefore get a fresh estimator seeded by the request
         (index rebuild included) — the answer really is a function of
         the reported seed.
+
+        ``method="auto"`` resolves through the adaptive router first;
+        the answer is then **bit-identical** to the same request naming
+        the routed method directly (the substream depends on the seed
+        and the pair, never on how the method was chosen), and the
+        response reports the concrete method plus the routing decision.
         """
+        fingerprint = graph_fingerprint(self.graph)
+        routing = None
+        if request.method == AUTO_METHOD:
+            decision = self._route(
+                fingerprint=fingerprint,
+                samples=request.samples,
+                max_hops=None,
+            )
+            request = dataclasses.replace(request, method=decision.method)
+            routing = decision.to_dict()
         cls = self._estimator_class(request.method)
         self._check_node(request.source, "source")
         self._check_node(request.target, "target")
@@ -548,7 +647,9 @@ class ReliabilityService:
         rng = stable_substream(seed, request.source, request.target)
         if cls.uses_index and seed != self.seed:
             # A request-seeded index estimator is private to this request
-            # — nothing is shared, so it runs with no lock at all.
+            # — nothing is shared, so it runs with no lock at all.  Not
+            # telemetered: the wall clock includes a full index build,
+            # which would poison the method's per-query cost buckets.
             estimator = self.create_estimator(request.method, seed=seed)
             value = estimator.estimate(
                 request.source, request.target, request.samples, rng=rng
@@ -558,10 +659,20 @@ class ReliabilityService:
             # LRU); its call lock serialises this method only — requests
             # for other methods, and every engine run, proceed alongside.
             estimator, call_lock = self._estimator_entry(request.method)
+            started = time.perf_counter()
             with call_lock:
                 value = estimator.estimate(
                     request.source, request.target, request.samples, rng=rng
                 )
+            self.telemetry.record(
+                request.method,
+                fingerprint=fingerprint,
+                samples=request.samples,
+                max_hops=None,
+                seconds=time.perf_counter() - started,
+                estimate=float(value),
+            )
+            self._mark_index_rebuilt(request.method)
         self._count("estimate")
         return EstimateResponse(
             source=request.source,
@@ -573,6 +684,7 @@ class ReliabilityService:
             estimate=float(value),
             dataset=self.dataset_key,
             scale=self.scale,
+            routing=routing,
         )
 
     def _validate_batch(
@@ -634,7 +746,14 @@ class ReliabilityService:
         long-lived index; everything else loops per query.  Estimates
         are deterministic in ``(graph, method, seed, query)`` — the
         transport cannot influence a single bit.
+
+        ``method="auto"`` resolves through the router before any
+        dispatch, so validation, the batch path, and every estimate are
+        those of the routed method — bit-identical to naming it.
         """
+        fingerprint = graph_fingerprint(self.graph)
+        request, decision = self._resolve_auto_batch(request)
+        routing = None if decision is None else decision.to_dict()
         batch_path = self.batch_path_of(request.method)
         self._validate_batch(request, batch_path)
         queries = self.resolve_queries(
@@ -671,8 +790,22 @@ class ReliabilityService:
             mode = "sequential" if request.sequential else "shared_worlds"
             report = self._engine_report(mode, result, chunk_size)
             rows = self._rows_from_result(result)
+            # The engine reports one wall clock for the whole workload;
+            # split it evenly — per-query attribution inside a shared
+            # world sweep is meaningless anyway.
+            per_query = result.seconds / max(len(rows), 1)
+            for row in rows:
+                self.telemetry.record(
+                    request.method,
+                    fingerprint=fingerprint,
+                    samples=row.samples,
+                    max_hops=row.max_hops,
+                    seconds=per_query,
+                    estimate=row.estimate,
+                )
         else:
             estimator, call_lock = self._estimator_entry(request.method)
+            started = time.perf_counter()
             with call_lock:
                 if batch_path == "bag_grouped":
                     estimates = estimator.estimate_batch(
@@ -688,6 +821,19 @@ class ReliabilityService:
                 # Instrumentation must be read before the lock drops, or
                 # a neighbouring request could overwrite it.
                 inner = estimator.last_batch_result
+            per_query = (time.perf_counter() - started) / max(len(queries), 1)
+            for (source, target, samples, max_hops), estimate in zip(
+                queries, estimates
+            ):
+                self.telemetry.record(
+                    request.method,
+                    fingerprint=fingerprint,
+                    samples=samples,
+                    max_hops=max_hops,
+                    seconds=per_query,
+                    estimate=float(estimate),
+                )
+            self._mark_index_rebuilt(request.method)
             report = (
                 EngineReport(mode=mode)
                 if inner is None
@@ -713,6 +859,7 @@ class ReliabilityService:
             results=rows,
             dataset=self.dataset_key,
             scale=self.scale,
+            routing=routing,
         )
 
     def _engine_report(
@@ -915,6 +1062,15 @@ class ReliabilityService:
                             touched_edges=mutation.touched_edges,
                             structural=mutation.structural,
                         )
+            with self._counts_lock:
+                # The router must not route to an index a lazy "dropped"
+                # survival mode left unbuilt; the flag clears the moment
+                # any request serves the method again (index rebuilt).
+                for method, mode in modes.items():
+                    if mode == "dropped":
+                        self._dropped_indexes.add(method)
+                    else:
+                        self._dropped_indexes.discard(method)
             stale = None
             with self._pool_lock:
                 stale, self._pool = self._pool, None
@@ -1065,17 +1221,19 @@ class ReliabilityService:
         )
 
     @classmethod
-    def recommend(cls, request: RecommendRequest) -> RecommendResponse:
+    def recommend_static(cls, request: RecommendRequest) -> RecommendResponse:
         """Walk the paper's Fig. 18 decision tree.
 
         Graph-independent, hence a classmethod: callers (the ``repro
         recommend`` command among them) get a recommendation without
-        loading any dataset.
+        loading any dataset — and without the measured evidence the
+        instance-level :meth:`recommend` layers on top.
         """
         recommendation = recommend_estimator(
             memory_limited=request.memory_limited,
             want_lowest_variance=request.lowest_variance,
             want_fastest=not request.latency_tolerant,
+            max_hops=request.max_hops,
         )
         return RecommendResponse(
             path=tuple(recommendation.path),
@@ -1083,6 +1241,45 @@ class ReliabilityService:
             display_names=tuple(
                 display_name(key) for key in recommendation.estimators
             ),
+        )
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Recommend an estimator for this service's live graph.
+
+        Routes exactly as ``estimator="auto"`` would for the request's
+        query shape — measured scoring when the shape's telemetry
+        buckets are warm, the paper's static tree otherwise — and the
+        response carries the decision, its reason, and the telemetry
+        evidence behind it.  The static ranking follows the router's
+        pick as backups, demoted for any index a live update dropped.
+        """
+        fingerprint = graph_fingerprint(self.graph)
+        decision = self._route(
+            fingerprint=fingerprint,
+            samples=request.samples,
+            max_hops=request.max_hops,
+            memory_limited=request.memory_limited,
+        )
+        recommendation = recommend_estimator(
+            memory_limited=request.memory_limited,
+            want_lowest_variance=request.lowest_variance,
+            want_fastest=not request.latency_tolerant,
+            max_hops=request.max_hops,
+            unavailable=self._dropped_snapshot(),
+        )
+        estimators = (decision.method,) + tuple(
+            key
+            for key in recommendation.estimators
+            if key != decision.method
+        )
+        self._count("recommend")
+        return RecommendResponse(
+            path=tuple(recommendation.path),
+            estimators=estimators,
+            display_names=tuple(display_name(key) for key in estimators),
+            reason=decision.reason,
+            decision=decision.to_dict(),
+            telemetry=self.telemetry.snapshot(fingerprint),
         )
 
     # ------------------------------------------------------------------
@@ -1172,10 +1369,20 @@ class ReliabilityService:
             "pool": (
                 None if self._pool is None else self._pool.statistics()
             ),
+            "routing": {
+                # The live graph's view: other fingerprints' buckets
+                # stay in the map but are not this snapshot's evidence.
+                "telemetry": self.telemetry.snapshot(
+                    graph_fingerprint(graph)
+                ),
+                "router": self.router.statistics(),
+                "dropped_indexes": list(self._dropped_snapshot()),
+            },
         }
 
 
 __all__ = [
+    "AUTO_METHOD",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_REWARM_TOP",
     "FAST_BATCH_PATHS",

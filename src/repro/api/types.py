@@ -528,27 +528,42 @@ class ShardRunRequest:
 
 @dataclass(frozen=True)
 class RecommendRequest:
-    """Inputs to the paper's Fig. 18 estimator decision tree."""
+    """Inputs to an estimator recommendation.
+
+    The three booleans are the paper's Fig. 18 decision-tree questions.
+    ``samples`` and ``max_hops`` describe the *query shape* the caller
+    intends to serve: a service instance uses them to consult its
+    adaptive router's telemetry bucket (and to constrain the static tree
+    to hop-capable methods); the graph-free static walk uses ``max_hops``
+    only.
+    """
 
     memory_limited: bool = False
     lowest_variance: bool = False
     latency_tolerant: bool = False
+    samples: int = 1_000
+    max_hops: Optional[int] = None
 
-    _KEYS = ("memory_limited", "lowest_variance", "latency_tolerant")
+    _BOOL_KEYS = ("memory_limited", "lowest_variance", "latency_tolerant")
+    _KEYS = _BOOL_KEYS + ("samples", "max_hops")
 
     @classmethod
     def from_dict(cls, payload: Any) -> "RecommendRequest":
         payload = _require_mapping(payload, "a recommend request")
         _reject_unknown_keys(payload, cls._KEYS, "a recommend request")
-        values = {}
-        for key in cls._KEYS:
+        values: Dict[str, Any] = {}
+        for key in cls._BOOL_KEYS:
             value = payload.get(key, False)
             if not isinstance(value, bool):
                 raise InvalidQueryError(
                     f"{key} must be a boolean, got {value!r}"
                 )
             values[key] = value
-        return cls(**values)
+        return cls(
+            samples=_require_int(payload.get("samples", 1_000), "samples"),
+            max_hops=_optional_int(payload.get("max_hops"), "max_hops"),
+            **values,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -624,7 +639,14 @@ class EngineReport:
 
 @dataclass(frozen=True)
 class EstimateResponse:
-    """One answered estimate, with its full provenance."""
+    """One answered estimate, with its full provenance.
+
+    ``routing`` appears only on ``method="auto"`` requests: the router's
+    decision record (picked method, reason, scores, evidence), with
+    ``method`` itself reporting the *concrete* estimator that answered —
+    the document a client replays against a named-method request to
+    verify bit-identity.
+    """
 
     source: int
     target: int
@@ -635,9 +657,10 @@ class EstimateResponse:
     estimate: float
     dataset: Optional[str] = None
     scale: Optional[str] = None
+    routing: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "dataset": self.dataset,
             "scale": self.scale,
             "method": self.method,
@@ -648,6 +671,9 @@ class EstimateResponse:
             "samples": self.samples,
             "estimate": self.estimate,
         }
+        if self.routing is not None:
+            payload["routing"] = self.routing
+        return payload
 
 
 @dataclass(frozen=True)
@@ -668,13 +694,16 @@ class BatchResponse:
     results: Tuple[QueryResult, ...]
     dataset: Optional[str] = None
     scale: Optional[str] = None
+    #: The router's decision record; present only on ``method="auto"``
+    #: requests (``method`` then reports the concrete routed estimator).
+    routing: Optional[Dict[str, Any]] = None
 
     @property
     def estimates(self) -> List[float]:
         return [result.estimate for result in self.results]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "dataset": self.dataset,
             "scale": self.scale,
             "method": self.method,
@@ -683,6 +712,9 @@ class BatchResponse:
             "engine": self.engine.to_dict(),
             "results": [result.to_dict() for result in self.results],
         }
+        if self.routing is not None:
+            payload["routing"] = self.routing
+        return payload
 
 
 @dataclass(frozen=True)
@@ -902,18 +934,37 @@ class BoundsResponse:
 
 @dataclass(frozen=True)
 class RecommendResponse:
-    """Outcome of the Fig. 18 decision tree walk."""
+    """An estimator recommendation, static or routed.
+
+    The original three fields are the Fig. 18 decision-tree walk and
+    keep their exact shape.  A service instance additionally reports how
+    its adaptive router would route the described query shape:
+    ``reason`` (``measured`` / ``exploration`` / ``cold_start``),
+    ``decision`` (the full routing record with scores and per-bucket
+    evidence), and ``telemetry`` (the live graph's aggregated
+    observations).  All three are omitted on the graph-free static walk.
+    """
 
     path: Tuple[str, ...]
     estimators: Tuple[str, ...]
     display_names: Tuple[str, ...] = field(default=())
+    reason: Optional[str] = None
+    decision: Optional[Dict[str, Any]] = None
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "path": list(self.path),
             "estimators": list(self.estimators),
             "display_names": list(self.display_names),
         }
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        if self.decision is not None:
+            payload["decision"] = self.decision
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
 
 __all__ = [

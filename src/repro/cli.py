@@ -45,12 +45,13 @@ from repro.api import (
     coerce_query_specs,
 )
 from repro.api.service import (
+    AUTO_METHOD,
     DEFAULT_CHUNK_SIZE,
     DEFAULT_REWARM_TOP,
     FAST_BATCH_PATHS,
     KERNEL_MODES,
 )
-from repro.core.registry import PAPER_ESTIMATORS
+from repro.core.registry import PAPER_ESTIMATORS, VARIANCE_SAMPLERS
 from repro.datasets.suite import DATASET_KEYS, SCALES, dataset_table
 from repro.experiments.convergence import ConvergenceCriterion
 from repro.experiments.report import format_dict_rows, format_table
@@ -114,7 +115,13 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--source", type=int, required=True)
     estimate.add_argument("--target", type=int, required=True)
     estimate.add_argument(
-        "--method", choices=PAPER_ESTIMATORS + ["lp", "dynamic_mc"], default="mc"
+        "--method",
+        choices=PAPER_ESTIMATORS
+        + VARIANCE_SAMPLERS
+        + ["lp", "dynamic_mc", AUTO_METHOD],
+        default="mc",
+        help="estimator, or 'auto' to let the service's adaptive router "
+             "pick from measured telemetry (default: mc)",
     )
     estimate.add_argument("--samples", "-K", type=int, default=1_000)
 
@@ -124,11 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(batch)
     _add_workload_arguments(batch, default_samples=1_000)
     batch.add_argument(
-        "--method", choices=PAPER_ESTIMATORS, default="mc",
+        "--method",
+        choices=PAPER_ESTIMATORS + VARIANCE_SAMPLERS + [AUTO_METHOD],
+        default="mc",
         help="estimator; 'mc' and 'bfs_sharing' use the shared-world "
              "engine fast path, 'prob_tree' groups the batch by (s, t) "
-             "bag pair, the others fall back to a per-query loop "
-             "(default: mc)",
+             "bag pair, the others fall back to a per-query loop; "
+             "'auto' lets the adaptive router pick (default: mc)",
     )
     batch.add_argument(
         "--kernels", choices=KERNEL_MODES, default=None,
@@ -255,6 +264,12 @@ def _build_parser() -> argparse.ArgumentParser:
     recommend.add_argument(
         "--latency-tolerant", action="store_true",
         help="accept slower queries on the small-memory branch",
+    )
+    recommend.add_argument(
+        "--max-hops", type=int, default=None,
+        help="d-hop bound (§2.9) on the intended queries: restricts the "
+             "recommendation to the engine-served methods that can "
+             "honour it",
     )
 
     study = commands.add_parser(
@@ -402,6 +417,11 @@ def _command_estimate(args: argparse.Namespace) -> int:
         raise SystemExit(f"repro estimate: {error}") from None
     finally:
         service.close()
+    if response.routing is not None:
+        print(
+            f"routed --method auto -> {response.method} "
+            f"({response.routing['reason']})"
+        )
     print(
         f"{response.method_display} on {service.dataset.title} "
         f"({args.scale}): R({args.source}, {args.target}) "
@@ -415,8 +435,14 @@ def _command_batch(args: argparse.Namespace) -> int:
     queries = _parse_query_file(args.queries)
     # Flag-combination guards: adapter-level UX (each names the exact
     # flags involved); the service re-checks the same invariants in
-    # API terms for non-CLI transports.
-    batch_path = ReliabilityService.batch_path_of(args.method)
+    # API terms for non-CLI transports.  'auto' has no batch path until
+    # the router resolves it, so the path-keyed guards defer to the
+    # service's re-check against the routed method; treating it as
+    # engine-capable here keeps every flag available to an auto run.
+    auto = args.method == AUTO_METHOD
+    batch_path = (
+        "engine" if auto else ReliabilityService.batch_path_of(args.method)
+    )
     engine_backed = batch_path == "engine"  # mc, bfs_sharing
     has_fast_path = batch_path in FAST_BATCH_PATHS  # + prob_tree
     if args.sequential and args.method != "mc":
@@ -587,8 +613,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             )
         print(
             "endpoints: POST /v1/estimate, POST /v1/batch, POST /v1/warm, "
-            "POST /v1/update, POST /v1/shard/run, GET /v1/health, "
-            "GET /v1/stats  (Ctrl-C to stop)",
+            "POST /v1/update, POST /v1/shard/run, GET|POST /v1/recommend, "
+            "GET /v1/health, GET /v1/stats  (Ctrl-C to stop)",
             flush=True,
         )
 
@@ -665,11 +691,20 @@ def _command_bounds(args: argparse.Namespace) -> int:
 
 
 def _command_recommend(args: argparse.Namespace) -> int:
-    response = ReliabilityService.recommend(
+    if args.max_hops is not None and args.max_hops <= 0:
+        raise SystemExit(
+            f"repro recommend: --max-hops must be a positive integer, "
+            f"got {args.max_hops}"
+        )
+    # The static (graph-free) walk: no dataset is loaded, so there is no
+    # telemetry to consult — a served instance's GET /v1/recommend is
+    # the measured counterpart.
+    response = ReliabilityService.recommend_static(
         RecommendRequest(
             memory_limited=args.memory_limited,
             lowest_variance=args.lowest_variance,
             latency_tolerant=args.latency_tolerant,
+            max_hops=args.max_hops,
         )
     )
     print(" -> ".join(response.path))

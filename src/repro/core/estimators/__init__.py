@@ -1,7 +1,9 @@
-"""The six s-t reliability estimators of the paper (plus uncorrected LP)."""
+"""The six s-t reliability estimators of the paper (plus uncorrected LP
+and the post-paper variance-reduction sampler family)."""
 
 from repro.core.estimators.base import Estimator, QueryStatistics
 from repro.core.estimators.bfs_sharing import BFSSharingEstimator, BFSSharingIndex
+from repro.core.estimators.importance import ImportanceSamplingEstimator
 from repro.core.estimators.lazy_propagation import (
     LazyPropagationEstimator,
     LazyPropagationOriginal,
@@ -10,6 +12,7 @@ from repro.core.estimators.monte_carlo import MonteCarloEstimator
 from repro.core.estimators.prob_tree import FWDProbTreeIndex, ProbTreeEstimator
 from repro.core.estimators.recursive_rhh import RecursiveSamplingEstimator
 from repro.core.estimators.recursive_rss import RecursiveStratifiedEstimator
+from repro.core.estimators.strata import BFSStratifiedEstimator
 
 __all__ = [
     "Estimator",
@@ -17,10 +20,12 @@ __all__ = [
     "MonteCarloEstimator",
     "BFSSharingEstimator",
     "BFSSharingIndex",
+    "ImportanceSamplingEstimator",
     "LazyPropagationEstimator",
     "LazyPropagationOriginal",
     "ProbTreeEstimator",
     "FWDProbTreeIndex",
     "RecursiveSamplingEstimator",
     "RecursiveStratifiedEstimator",
+    "BFSStratifiedEstimator",
 ]

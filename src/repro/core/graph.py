@@ -154,6 +154,17 @@ class UncertainGraph:
         """Source node of a CSR edge id."""
         return int(self._edge_sources[edge_id])
 
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Per-edge source nodes aligned with :attr:`targets` (read-only).
+
+        The vectorised counterpart of :meth:`edge_source`, for consumers
+        that need whole-edge-set views — e.g. the importance sampler's
+        occurrence counts and the BFS-stratified sampler's edge ordering.
+        Treat it as immutable: it is the CSR backing array, not a copy.
+        """
+        return self._edge_sources
+
     def edge_probability(self, source: int, target: int) -> Optional[float]:
         """Probability of edge ``source -> target`` or ``None`` if absent."""
         start, stop = self.indptr[source], self.indptr[source + 1]

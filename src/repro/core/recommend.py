@@ -10,7 +10,7 @@ and compare against measured rankings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Collection, Dict, List, Optional, Tuple
 
 #: Table 17 (online query processing), 1-4 stars per metric.
 STAR_RATINGS: Dict[str, Dict[str, int]] = {
@@ -52,11 +52,43 @@ class Recommendation:
         return f"{steps} => {names}"
 
 
+#: Estimators whose batch path is the shared-world engine — the only ones
+#: able to serve distance-constrained (d-hop) reliability (paper §2.9).
+HOP_CAPABLE_ESTIMATORS: Tuple[str, ...] = ("mc", "bfs_sharing")
+
+
+def _finalise(
+    estimators: Tuple[str, ...],
+    path: List[str],
+    unavailable: Collection[str],
+) -> Recommendation:
+    """Demote estimators a live update made unavailable (dropped index).
+
+    ``mc`` is the universal fallback: it is index-free, hop-capable, and
+    can never be dropped — an empty post-filter pick would only mean the
+    caller blacklisted everything, and recommending nothing helps nobody.
+    """
+    dropped = tuple(key for key in estimators if key in unavailable)
+    if dropped:
+        path.append(
+            "index unavailable after live update: " + ", ".join(dropped)
+        )
+        estimators = tuple(
+            key for key in estimators if key not in unavailable
+        )
+    if not estimators:
+        path.append("fallback: mc (index-free, always servable)")
+        estimators = ("mc",)
+    return Recommendation(estimators, tuple(path))
+
+
 def recommend_estimator(
     *,
     memory_limited: bool,
     want_lowest_variance: bool = False,
     want_fastest: bool = True,
+    max_hops: Optional[int] = None,
+    unavailable: Collection[str] = (),
 ) -> Recommendation:
     """Walk the paper's Fig. 18 decision tree.
 
@@ -73,24 +105,45 @@ def recommend_estimator(
         plain MC; among those two, ProbTree wins overall (the paper's final
         recommendation) but requires an index, so both are returned in
         preference order.
+    max_hops:
+        A d-hop bound on the query (§2.9).  The decision tree predates
+        hop-bounded workloads: only the engine-served estimators
+        (:data:`HOP_CAPABLE_ESTIMATORS`) have a hop-bounded sweep, so a
+        bound short-circuits the tree to them instead of recommending a
+        method that would reject the query outright.
+    unavailable:
+        Estimator keys that cannot currently serve — typically an
+        index-backed method whose index a live ``/v1/update`` dropped and
+        has not yet rebuilt.  They are demoted from the recommendation
+        (noted in the path) rather than silently recommended.
     """
     path: List[str] = []
+    if max_hops is not None:
+        path.append(
+            f"d-hop bound ({int(max_hops)}): engine-served methods only"
+        )
+        if memory_limited:
+            path.append("Memory: smaller")
+            return _finalise(("mc",), path, unavailable)
+        path.append("Memory: larger")
+        return _finalise(("bfs_sharing", "mc"), path, unavailable)
+
     if memory_limited:
         path.append("Memory: smaller")
         if want_fastest:
             path.append("Running time: faster")
             # ProbTree first: the paper's overall recommendation (its root-to-
             # leaf path in Fig. 18 is all red ticks).
-            return Recommendation(("prob_tree", "lp_plus"), tuple(path))
+            return _finalise(("prob_tree", "lp_plus"), path, unavailable)
         path.append("Running time: slower acceptable")
-        return Recommendation(("mc",), tuple(path))
+        return _finalise(("mc",), path, unavailable)
 
     path.append("Memory: larger")
     if want_lowest_variance:
         path.append("Variance: lower")
-        return Recommendation(("rss", "rhh"), tuple(path))
+        return _finalise(("rss", "rhh"), path, unavailable)
     path.append("Variance: higher acceptable")
-    return Recommendation(("bfs_sharing",), tuple(path))
+    return _finalise(("bfs_sharing",), path, unavailable)
 
 
 def overall_recommendation() -> str:
@@ -101,6 +154,7 @@ def overall_recommendation() -> str:
 __all__ = [
     "STAR_RATINGS",
     "INDEX_STAR_RATINGS",
+    "HOP_CAPABLE_ESTIMATORS",
     "Recommendation",
     "recommend_estimator",
     "overall_recommendation",

@@ -13,6 +13,7 @@ from typing import Dict, List, Type
 
 from repro.core.estimators.base import Estimator
 from repro.core.estimators.bfs_sharing import BFSSharingEstimator
+from repro.core.estimators.importance import ImportanceSamplingEstimator
 from repro.core.estimators.lazy_propagation import (
     LazyPropagationEstimator,
     LazyPropagationOriginal,
@@ -24,6 +25,7 @@ from repro.core.estimators.recursive_rhh import (
     RecursiveSamplingEstimator,
 )
 from repro.core.estimators.recursive_rss import RecursiveStratifiedEstimator
+from repro.core.estimators.strata import BFSStratifiedEstimator
 from repro.core.graph import UncertainGraph
 
 _REGISTRY: Dict[str, Type[Estimator]] = {
@@ -35,6 +37,8 @@ _REGISTRY: Dict[str, Type[Estimator]] = {
     RecursiveSamplingEstimator.key: RecursiveSamplingEstimator,
     DynamicMCEstimator.key: DynamicMCEstimator,
     RecursiveStratifiedEstimator.key: RecursiveStratifiedEstimator,
+    ImportanceSamplingEstimator.key: ImportanceSamplingEstimator,
+    BFSStratifiedEstimator.key: BFSStratifiedEstimator,
 }
 
 #: The six estimators of the paper's study, in its presentation order.
@@ -52,6 +56,12 @@ INDEXED_ESTIMATORS: List[str] = ["bfs_sharing", "prob_tree"]
 
 #: Recursive (variance-reduced) estimators (paper §2.4-2.5).
 RECURSIVE_ESTIMATORS: List[str] = ["rhh", "rss"]
+
+#: The post-paper variance-reduction sampler family (ROADMAP: importance
+#: sampling with calibrated occurrence counts, BFS-distance strata).
+#: Not part of :data:`PAPER_ESTIMATORS` — the paper's six-method study is
+#: pinned — but registered, conformance-gated, and routable.
+VARIANCE_SAMPLERS: List[str] = ["importance", "strata"]
 
 
 def estimator_keys() -> List[str]:
@@ -102,6 +112,7 @@ __all__ = [
     "PAPER_ESTIMATORS",
     "INDEXED_ESTIMATORS",
     "RECURSIVE_ESTIMATORS",
+    "VARIANCE_SAMPLERS",
     "estimator_keys",
     "estimator_class",
     "create_estimator",

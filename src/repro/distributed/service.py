@@ -26,6 +26,7 @@ uses.  Shards never cache partial counts.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Dict, Iterable, Optional, Sequence, Union
 
@@ -33,6 +34,7 @@ import numpy as np
 
 from repro.api.service import ReliabilityService
 from repro.api.types import BatchRequest, BatchResponse
+from repro.engine.cache import graph_fingerprint
 from repro.core.graph import UncertainGraph
 from repro.distributed.client import normalize_shard_url, parse_shard_list
 from repro.distributed.config import ShardTierConfig
@@ -84,10 +86,20 @@ class CoordinatedReliabilityService(ReliabilityService):
         path.  ``request.workers`` is validated as usual but does not
         fan anything out here: parallelism comes from the shard tier,
         and each shard applies its own compute configuration.
+
+        ``method="auto"`` resolves through the coordinator's own router
+        (shard workers never see "auto" — dispatches carry world ranges,
+        not methods), so the tier routes exactly like a plain server.
         """
+        fingerprint = graph_fingerprint(self.graph)
+        request, decision = self._resolve_auto_batch(request)
+        routing = None if decision is None else decision.to_dict()
         batch_path = self.batch_path_of(request.method)
         if batch_path != "engine" or request.sequential:
-            return super().estimate_batch(request)
+            response = super().estimate_batch(request)
+            if routing is not None:
+                response = dataclasses.replace(response, routing=routing)
+            return response
         self._validate_batch(request, batch_path)
         queries = self.resolve_queries(
             request.queries, request.samples, request.max_hops
@@ -106,6 +118,16 @@ class CoordinatedReliabilityService(ReliabilityService):
         result = self._run_distributed(engine, queries)
         report = self._engine_report("distributed", result, chunk_size)
         rows = self._rows_from_result(result)
+        per_query = result.seconds / max(len(rows), 1)
+        for row in rows:
+            self.telemetry.record(
+                request.method,
+                fingerprint=fingerprint,
+                samples=row.samples,
+                max_hops=row.max_hops,
+                seconds=per_query,
+                estimate=row.estimate,
+            )
         self._count("batch")
         return BatchResponse(
             method=request.method,
@@ -114,6 +136,7 @@ class CoordinatedReliabilityService(ReliabilityService):
             results=rows,
             dataset=self.dataset_key,
             scale=self.scale,
+            routing=routing,
         )
 
     def _run_distributed(

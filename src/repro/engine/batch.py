@@ -307,13 +307,16 @@ class BatchEngine:
         """World ``index`` as a fully-forced edge-state vector (±1)."""
         return forced_from_mask(self.world_mask(index))
 
-    def _mask_chunk(self, start: int, count: int) -> np.ndarray:
+    def world_masks(self, start: int, count: int) -> np.ndarray:
         """Worlds ``start .. start + count`` as a ``(count, m)`` mask block.
 
         One block is the engine's entire world-residency: resident memory
         is ``O(chunk_size * edge_count)`` bits however large K grows.
         Each row comes from its own world substream, so the block's
-        content is independent of the chunk boundaries.
+        content is independent of the chunk boundaries.  Public because
+        calibration passes (the importance sampler's occurrence counts)
+        reuse the engine's world stream: calibration worlds are then
+        exactly the worlds an engine with the same seed would sweep.
         """
         masks = np.empty((count, self.graph.edge_count), dtype=bool)
         for offset in range(count):
@@ -432,7 +435,7 @@ class BatchEngine:
         :mod:`repro.engine.parallel` run chunk ranges in worker processes
         and sum the counts in any order without changing a single bit.
         """
-        masks = self._mask_chunk(chunk_start, count)
+        masks = self.world_masks(chunk_start, count)
         hits = np.zeros(unique_count, dtype=np.int64)
         sweep_chunk = (
             self._sweep_chunk_bitset

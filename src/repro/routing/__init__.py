@@ -1,0 +1,42 @@
+"""Adaptive query routing: telemetry-driven estimator selection.
+
+A decision-making layer between core (the estimators and the paper's
+static recommendation) and the service facade: :class:`QueryTelemetry`
+accumulates what every served query measured, and :class:`AdaptiveRouter`
+turns those measurements into a per-query estimator choice with a
+deterministic exploration floor and a static-heuristic cold start.  The
+service wires it up behind ``estimator="auto"`` and ``/v1/recommend``;
+see ``docs/routing.md``.
+"""
+
+from repro.routing.router import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_EPSILON,
+    DEFAULT_MIN_OBSERVATIONS,
+    VARIANCE_FLOOR,
+    AdaptiveRouter,
+    RoutingDecision,
+)
+from repro.routing.telemetry import (
+    DEFAULT_BUCKET_CAPACITY,
+    BucketStats,
+    QueryTelemetry,
+    bucket_key,
+    hops_band,
+    samples_band,
+)
+
+__all__ = [
+    "AdaptiveRouter",
+    "BucketStats",
+    "DEFAULT_BUCKET_CAPACITY",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_EPSILON",
+    "DEFAULT_MIN_OBSERVATIONS",
+    "QueryTelemetry",
+    "RoutingDecision",
+    "VARIANCE_FLOOR",
+    "bucket_key",
+    "hops_band",
+    "samples_band",
+]

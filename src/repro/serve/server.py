@@ -13,9 +13,19 @@ Endpoints (all JSON)::
     POST /v1/batch      BatchRequest     -> BatchResponse
     POST /v1/warm       WarmRequest      -> WarmResponse
     POST /v1/update     UpdateRequest    -> UpdateResponse
+    POST /v1/recommend  RecommendRequest -> RecommendResponse
     POST /v1/shard/run  ShardRunRequest  -> ShardRunResponse
+    GET  /v1/recommend  default-shape recommendation (query params accepted)
     GET  /v1/health     liveness payload
     GET  /v1/stats      service-lifetime counters + cache statistics
+
+Both ``estimate`` and ``batch`` accept ``method="auto"``: the service's
+adaptive router (:mod:`repro.routing`) picks the estimator from measured
+telemetry, the response reports the concrete routed method plus a
+``routing`` annotation, and the estimate is bit-identical to naming that
+method directly.  ``/v1/recommend`` exposes the same decision without
+serving a query — the router's pick, its reason, and the telemetry
+evidence behind it.
 
 ``/v1/shard/run`` is the distributed tier's worker-side primitive
 (:mod:`repro.distributed`): evaluate one world range, return integer
@@ -67,6 +77,7 @@ import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.api.errors import (
     InvalidQueryError,
@@ -77,6 +88,7 @@ from repro.api.service import DEFAULT_REWARM_TOP, ReliabilityService
 from repro.api.types import (
     BatchRequest,
     EstimateRequest,
+    RecommendRequest,
     ShardRunRequest,
     UpdateRequest,
     WarmRequest,
@@ -172,7 +184,7 @@ class ReliabilityHTTPServer(ThreadingHTTPServer):
 
 
 class ReliabilityRequestHandler(BaseHTTPRequestHandler):
-    """Routes the seven ``/v1`` endpoints onto the bound service."""
+    """Routes the ``/v1`` endpoints onto the bound service."""
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -210,6 +222,13 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
                 payload = service.health()
             elif path == "/v1/stats":
                 payload = service.stats()
+            elif path == "/v1/recommend":
+                payload = service.recommend(
+                    self._recommend_request_from_query()
+                ).to_dict()
+        except ReliabilityError as error:
+            self._send_json(error.http_status, {"error": error.to_dict()})
+            return
         except Exception:  # noqa: BLE001 — same containment as do_POST
             self._send_internal_error("GET", path)
             return
@@ -219,6 +238,33 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
             self._send_method_not_allowed("POST")
         else:
             self._send_json(404, _error_body("not found", path))
+
+    def _recommend_request_from_query(self) -> RecommendRequest:
+        """Build a :class:`RecommendRequest` from GET query parameters.
+
+        ``GET /v1/recommend`` with no parameters asks about the default
+        query shape; ``?samples=10000&max_hops=3&memory_limited=true``
+        narrows it.  Values go through the same validation as the POST
+        body (booleans are ``true``/``false``/``1``/``0``).
+        """
+        query = self.path.partition("?")[2].partition("#")[0]
+        payload: Dict[str, Any] = {}
+        for key, values in parse_qs(query, keep_blank_values=True).items():
+            raw = values[-1]
+            if key in RecommendRequest._BOOL_KEYS:
+                if raw.lower() not in ("true", "false", "1", "0"):
+                    raise InvalidQueryError(
+                        f"{key} must be true/false, got {raw!r}"
+                    )
+                payload[key] = raw.lower() in ("true", "1")
+            else:
+                try:
+                    payload[key] = int(raw)
+                except ValueError:
+                    raise InvalidQueryError(
+                        f"{key} must be an integer, got {raw!r}"
+                    ) from None
+        return RecommendRequest.from_dict(payload)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         path = self.route_path
@@ -277,6 +323,9 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
             ).to_dict(),
             "/v1/warm": lambda payload: service.warm(
                 WarmRequest.from_dict(payload)
+            ).to_dict(),
+            "/v1/recommend": lambda payload: service.recommend(
+                RecommendRequest.from_dict(payload)
             ).to_dict(),
             "/v1/update": self._handle_update,
             "/v1/shard/run": self._handle_shard_run,

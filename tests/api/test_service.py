@@ -23,6 +23,7 @@ from repro.api import (
     ReliabilityService,
     TopKRequest,
     UnknownEstimatorError,
+    UpdateRequest,
     WarmRequest,
 )
 from repro.core.bounds import reliability_bounds
@@ -294,15 +295,33 @@ class TestOtherEndpoints:
         response = service.bounds(BoundsRequest(source=0, target=5))
         assert (response.lower, response.upper) == (lower, upper)
 
-    def test_recommend_matches_decision_tree(self):
+    def test_recommend_static_matches_decision_tree(self):
         expected = recommend_estimator(
             memory_limited=True, want_fastest=True
         )
-        response = ReliabilityService.recommend(
+        response = ReliabilityService.recommend_static(
             RecommendRequest(memory_limited=True)
         )
         assert response.estimators == tuple(expected.estimators)
         assert "ProbTree" in response.display_names
+
+    def test_instance_recommend_reports_decision_and_telemetry(self, service):
+        response = service.recommend(RecommendRequest(samples=200))
+        assert response.reason == "cold_start"
+        assert response.estimators[0] == response.decision["method"]
+        assert response.decision["static_path"]
+        assert response.telemetry["observations"] == 0
+        # Warm one method's bucket past the trust threshold: the router
+        # switches to measured evidence and cites it.
+        for _ in range(6):
+            service.estimate(
+                EstimateRequest(source=0, target=5, samples=200, method="mc")
+            )
+        warmed = service.recommend(RecommendRequest(samples=200))
+        assert warmed.reason == "measured"
+        assert warmed.estimators[0] == "mc"
+        assert warmed.decision["evidence"]["mc"]["count"] >= 6
+        assert warmed.telemetry["methods"]["mc"]["observations"] >= 6
 
     def test_health_and_stats(self, service):
         health = service.health()
@@ -573,3 +592,98 @@ class TestFineGrainedLocking:
             assert service.stats()["estimators_loaded"] == ["prob_tree"]
         finally:
             service.close()
+
+
+class TestAutoRouting:
+    """`estimator="auto"`: the router resolves, the answer never changes."""
+
+    def test_auto_estimate_bit_identical_to_routed_method(self, service):
+        auto = service.estimate(
+            EstimateRequest(source=0, target=5, samples=200, method="auto")
+        )
+        assert auto.routing is not None
+        assert auto.routing["reason"] == "cold_start"
+        assert auto.method == auto.routing["method"]
+        direct = service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=200, method=auto.method
+            )
+        )
+        assert direct.estimate == auto.estimate
+
+    def test_named_method_carries_no_routing_annotation(self, service):
+        response = service.estimate(
+            EstimateRequest(source=0, target=5, samples=200, method="mc")
+        )
+        assert response.routing is None
+        assert "routing" not in response.to_dict()
+
+    def test_auto_batch_bit_identical_to_routed_method(self, service):
+        auto = service.estimate_batch(
+            BatchRequest(queries=WORKLOAD, method="auto")
+        )
+        assert auto.routing is not None
+        direct = service.estimate_batch(
+            BatchRequest(queries=WORKLOAD, method=auto.method)
+        )
+        assert [row.estimate for row in auto.results] == [
+            row.estimate for row in direct.results
+        ]
+        assert auto.method == direct.method
+
+    def test_auto_warms_into_measured_routing(self, service):
+        for _ in range(6):
+            service.estimate(
+                EstimateRequest(source=0, target=5, samples=200, method="mc")
+            )
+        response = service.estimate(
+            EstimateRequest(source=0, target=5, samples=200, method="auto")
+        )
+        assert response.routing["reason"] == "measured"
+        assert response.method == "mc"
+
+    def test_hop_bounded_auto_batch_routes_hop_capable(self, service):
+        response = service.estimate_batch(
+            BatchRequest(
+                queries=(QuerySpec(0, 5, 100),),
+                method="auto",
+                max_hops=2,
+            )
+        )
+        assert response.method in ("mc", "bfs_sharing")
+
+    def test_update_demotes_dropped_index_until_reserved(self, service):
+        # Build the bfs_sharing index, then mutate structurally: its
+        # survival mode is the lazy drop, and auto must not route to it
+        # until a request rebuilds the index.
+        service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=100, method="bfs_sharing"
+            )
+        )
+        update = service.update(UpdateRequest(set_edges=((0, 5, 0.9),)))
+        assert update.estimators["bfs_sharing"] == "dropped"
+        assert service.stats()["routing"]["dropped_indexes"] == [
+            "bfs_sharing"
+        ]
+        routed = service.estimate(
+            EstimateRequest(source=0, target=5, samples=100, method="auto")
+        )
+        assert routed.method != "bfs_sharing"
+        # Serving the method directly rebuilds the index and lifts the
+        # demotion.
+        service.estimate(
+            EstimateRequest(
+                source=0, target=5, samples=100, method="bfs_sharing"
+            )
+        )
+        assert service.stats()["routing"]["dropped_indexes"] == []
+
+    def test_stats_reports_routing_section(self, service):
+        service.estimate(
+            EstimateRequest(source=0, target=5, samples=100, method="auto")
+        )
+        routing = service.stats()["routing"]
+        assert routing["telemetry"]["observations"] == 1
+        assert routing["router"]["decisions"]["cold_start"] == 1
+        assert routing["dropped_indexes"] == []

@@ -1,0 +1,156 @@
+"""Tests for BFS-distance stratified sampling (BSS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.monte_carlo import MonteCarloEstimator
+from repro.core.estimators.strata import BFSStratifiedEstimator
+from repro.core.exact import reliability_exact
+from repro.core.graph import UncertainGraph
+from tests.conftest import random_graph
+
+
+class TestAccuracy:
+    def test_matches_exact_on_diamond(self, diamond_graph):
+        estimator = BFSStratifiedEstimator(
+            diamond_graph, stratum_edges=2, seed=0
+        )
+        estimate = estimator.estimate(0, 3, 20_000)
+        assert estimate == pytest.approx(0.4375, abs=0.01)
+
+    @pytest.mark.parametrize("stratum_edges", [1, 2, 4, 16])
+    def test_matches_exact_for_any_stratum_width(self, stratum_edges):
+        graph = random_graph(2)
+        exact = reliability_exact(graph, 0, 7)
+        estimator = BFSStratifiedEstimator(
+            graph, stratum_edges=stratum_edges
+        )
+        estimates = [
+            estimator.estimate(0, 7, 2_000, rng=np.random.default_rng(i))
+            for i in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.025)
+
+    def test_unbiased_with_tiny_probabilities(self):
+        graph = UncertainGraph(3, [(0, 1, 0.01), (1, 2, 0.9)])
+        exact = 0.009
+        estimator = BFSStratifiedEstimator(graph, stratum_edges=1)
+        estimates = [
+            estimator.estimate(0, 2, 100, rng=np.random.default_rng(i))
+            for i in range(3_000)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.002)
+
+    def test_disconnected_target_is_exact_zero(self):
+        # Node 3 has no incoming path from 0 even with all edges present.
+        graph = UncertainGraph(4, [(0, 1, 0.9), (3, 2, 0.9)])
+        estimator = BFSStratifiedEstimator(graph, seed=0)
+        assert estimator.estimate(0, 3, 500) == 0.0
+
+    def test_certain_selected_edge(self):
+        # A certain edge in the stratum set: strata forcing it absent have
+        # zero mass and zero budget — must be skipped without error.
+        graph = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        estimator = BFSStratifiedEstimator(graph, stratum_edges=2)
+        estimates = [
+            estimator.estimate(0, 2, 500, rng=np.random.default_rng(i))
+            for i in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(0.5, abs=0.05)
+
+
+class TestStratumDesign:
+    def test_selected_edges_follow_bfs_distance_order(self):
+        # 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 2: distance-0 edges first.
+        graph = UncertainGraph(
+            4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 2, 0.5)]
+        )
+        estimator = BFSStratifiedEstimator(graph, stratum_edges=4, seed=0)
+        selected = estimator._select_edges(0, 3)
+        distances = graph.bfs_distances(0)
+        selected_distances = distances[graph.edge_sources[selected]]
+        assert (np.diff(selected_distances) >= 0).all()
+        assert selected_distances[0] == 0
+
+    def test_unreachable_source_edges_excluded(self):
+        # Edge 3 -> 2 hangs off a node BFS from 0 never reaches.
+        graph = UncertainGraph(4, [(0, 1, 0.5), (1, 2, 0.5), (3, 2, 0.5)])
+        estimator = BFSStratifiedEstimator(graph, stratum_edges=8, seed=0)
+        selected = estimator._select_edges(0, 2)
+        assert 2 not in selected  # edge id 2 is (3, 2) in CSR order
+        assert selected.size == 2
+
+    def test_lower_variance_than_mc(self, diamond_graph):
+        samples = 200
+        bss = BFSStratifiedEstimator(diamond_graph, stratum_edges=2)
+        mc = MonteCarloEstimator(diamond_graph)
+        bss_estimates = np.array(
+            [
+                bss.estimate(0, 3, samples, rng=np.random.default_rng(i))
+                for i in range(300)
+            ]
+        )
+        mc_estimates = np.array(
+            [
+                mc.estimate(
+                    0, 3, samples, rng=np.random.default_rng(7_000 + i)
+                )
+                for i in range(300)
+            ]
+        )
+        assert bss_estimates.var(ddof=1) < mc_estimates.var(ddof=1)
+
+    def test_budgets_sum_close_to_k(self, diamond_graph):
+        # Stochastic rounding: E[sum] = K, realisations within +-r of it.
+        estimator = BFSStratifiedEstimator(
+            diamond_graph, stratum_edges=4, seed=0
+        )
+        selected = estimator._select_edges(0, 3)
+        probabilities = diamond_graph.probs[selected]
+        absent_prefix = np.concatenate(
+            ([1.0], np.cumprod(1.0 - probabilities))
+        )
+        masses = np.empty(selected.size + 1)
+        masses[0] = absent_prefix[-1]
+        masses[1:] = probabilities * absent_prefix[:-1]
+        assert masses.sum() == pytest.approx(1.0)
+        rng = np.random.default_rng(0)
+        raw = masses * 1_000
+        budgets = np.floor(raw + rng.random(raw.shape)).astype(np.int64)
+        assert abs(int(budgets.sum()) - 1_000) <= selected.size + 1
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            BFSStratifiedEstimator(diamond_graph, stratum_edges=0)
+
+    def test_registry_metadata(self, diamond_graph):
+        estimator = BFSStratifiedEstimator(diamond_graph)
+        assert estimator.key == "strata"
+        assert estimator.batch_path == "fallback"
+        assert not estimator.uses_index
+
+    def test_reproducible_with_same_stream(self, diamond_graph):
+        estimator = BFSStratifiedEstimator(diamond_graph, stratum_edges=2)
+        a = estimator.estimate(0, 3, 500, rng=np.random.default_rng(3))
+        b = estimator.estimate(0, 3, 500, rng=np.random.default_rng(3))
+        assert a == b
+
+    def test_update_repoints_without_stale_state(self, diamond_graph):
+        from repro.core.mutation import apply_update
+
+        estimator = BFSStratifiedEstimator(diamond_graph, seed=0)
+        estimator.estimate(0, 3, 200)
+        mutation = apply_update(diamond_graph, set_edges=((0, 3, 0.9),))
+        estimator.apply_update(
+            mutation.graph,
+            touched_edges=mutation.touched_edges,
+            structural=mutation.structural,
+        )
+        fresh = BFSStratifiedEstimator(mutation.graph, seed=0)
+        value_updated = estimator.estimate(
+            0, 3, 500, rng=np.random.default_rng(3)
+        )
+        value_fresh = fresh.estimate(0, 3, 500, rng=np.random.default_rng(3))
+        assert value_updated == value_fresh
