@@ -1,0 +1,37 @@
+"""``repro.analysis`` — the AST-based invariant analyzer behind
+``repro lint``.
+
+Three rule families keep the reproduction's contracts honest at review
+time instead of at test time:
+
+* determinism (``D101``-``D103``): no global-state RNG, no wall-clock
+  values in results or cache keys, no unordered iteration feeding
+  result-bearing folds;
+* lock discipline (``L201``-``L203``): ``# guarded-by:`` annotated
+  attributes are only written under their lock, acquisitions respect
+  the declared ``# lock-order:``, and locked writes are annotated;
+* wire contract (``W301``-``W303``): strict ``from_dict`` on every
+  request type, and ``ENDPOINTS`` / HTTP routes / ``docs/api.md``
+  agree.
+
+See ``docs/analysis.md`` for the catalog, the annotation grammar, and
+the suppression syntax (``# lint: ok[RULE] reason``).
+"""
+
+from .base import Finding
+from .runner import (
+    analyze_file,
+    analyze_files,
+    analyze_repo,
+    find_repo_root,
+    wire_findings,
+)
+
+__all__ = [
+    "Finding",
+    "analyze_file",
+    "analyze_files",
+    "analyze_repo",
+    "find_repo_root",
+    "wire_findings",
+]

@@ -1,0 +1,159 @@
+"""Lock-discipline rules: L201 unguarded writes, L202 lock-order
+inversions, L203 annotation gaps.
+
+The concurrency model (PR 5, ``docs/architecture.md``) splits the
+facade's state across small locks with a fixed acquisition hierarchy.
+The convention is declarative: every shared attribute carries a
+trailing ``# guarded-by: <lockname>`` comment where it is initialised,
+and each class with nested acquisitions declares
+``# lock-order: outer -> ... -> inner`` in its body.  The analyzer
+then verifies mechanically what code review has to eyeball:
+
+* **L201** — every write to a guarded attribute happens lexically
+  inside ``with self.<lockname>:`` (or in a method that holds the lock
+  by convention: ``*_locked`` suffix when the class has a single lock,
+  an explicit ``# holds: <lockname>`` def-line comment, ``__init__``,
+  or an ``# init-only`` method that runs before the object is shared).
+  Module-level globals use the same grammar with a module lock name.
+* **L202** — no ``with`` nesting acquires a declared lock while
+  holding one that comes later in the declared order.
+* **L203** — once a class opts into the convention, any write under a
+  lock to an *unannotated* attribute is an annotation gap: either the
+  attribute is shared (annotate it) or the lock is incidental (say so
+  with a suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .base import (
+    ClassInfo,
+    Finding,
+    SourceFile,
+    held_locks,
+    iter_statement_global_writes,
+    iter_statement_writes,
+)
+
+L201 = "L201"
+L202 = "L202"
+L203 = "L203"
+
+_WRITE_VERB = {
+    "assign": "assignment to",
+    "del": "deletion of",
+    "item": "item write to",
+    "mutate": "in-place mutation of",
+}
+
+
+def check(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in source.classes():
+        if not info.audited:
+            continue
+        for method in info.methods():
+            if info.method_exempt(source, method):
+                continue
+            findings.extend(_check_method(source, info, method))
+    findings.extend(_check_module_globals(source))
+    return sorted(findings)
+
+
+def _check_method(
+    source: SourceFile, info: ClassInfo, method: ast.FunctionDef
+) -> Iterator[Finding]:
+    initial = info.method_held_locks(source, method)
+    known_locks = set(info.lock_order) | info.lock_names()
+    for statement, held, stack in held_locks(method, initial):
+        if isinstance(statement, ast.With) and info.lock_order:
+            yield from _order_findings(source, info, statement, stack)
+        for node, kind, attr in iter_statement_writes(statement):
+            lock = info.guarded.get(attr)
+            if lock is not None and lock not in held:
+                finding = source.finding(
+                    node,
+                    L201,
+                    f"{_WRITE_VERB[kind]} `self.{attr}` (guarded-by {lock}) "
+                    f"outside `with self.{lock}:` in {info.name}.{method.name}",
+                )
+                if finding is not None:
+                    yield finding
+            elif lock is None and held and attr not in ("__dict__",):
+                # Ignore writes guarded only by locks the class does not
+                # declare (e.g. a borrowed registry lock).
+                if not (held & known_locks):
+                    continue
+                finding = source.finding(
+                    node,
+                    L203,
+                    f"`self.{attr}` is written under "
+                    f"`{', '.join(sorted(held & known_locks))}` but carries no "
+                    "`# guarded-by:` annotation; annotate it or suppress with "
+                    "a justification",
+                )
+                if finding is not None:
+                    yield finding
+
+
+def _order_findings(
+    source: SourceFile, info: ClassInfo, statement: ast.With, stack: List[str]
+) -> Iterator[Finding]:
+    order = {name: index for index, name in enumerate(info.lock_order)}
+    declared_stack = [name for name in stack if name in order]
+    acquired = [
+        name
+        for name in _with_lock_names_ordered(statement)
+        if name in order and name not in declared_stack
+    ]
+    for name in acquired:
+        inverted = [held for held in declared_stack if order[held] > order[name]]
+        if inverted:
+            finding = source.finding(
+                statement,
+                L202,
+                f"acquires `{name}` while holding `{inverted[-1]}`, inverting "
+                f"declared lock-order {' -> '.join(info.lock_order)}",
+            )
+            if finding is not None:
+                yield finding
+
+
+def _with_lock_names_ordered(statement: ast.With) -> List[str]:
+    names: List[str] = []
+    for item in statement.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            names.append(expr.attr)
+        elif isinstance(expr, ast.Name):
+            names.append(expr.id)
+    return names
+
+
+def _check_module_globals(source: SourceFile) -> Iterator[Finding]:
+    guards = source.module_guards()
+    if not guards:
+        return
+    names = set(guards)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        for statement, held, _stack in held_locks(node):
+            for write, kind, name in iter_statement_global_writes(statement, names):
+                lock = guards[name]
+                if lock in held:
+                    continue
+                finding = source.finding(
+                    write,
+                    L201,
+                    f"{_WRITE_VERB[kind]} module global `{name}` (guarded-by "
+                    f"{lock}) outside `with {lock}:` in {node.name}",
+                )
+                if finding is not None:
+                    yield finding

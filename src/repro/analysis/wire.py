@@ -1,0 +1,232 @@
+"""Wire-contract rules: W301 strict ``from_dict``, W302 endpoint/route
+drift, W303 docs-table drift.
+
+The facade, the HTTP layer, and the operator docs each hold a copy of
+the endpoint surface; PR 8 showed they drift silently.  These checks
+pin the three copies together:
+
+* **W301** — every ``*Request`` dataclass in ``api/types.py`` defines
+  ``from_dict`` and rejects unknown keys (a ``_reject_unknown_keys``
+  call), so malformed payloads keep producing structured 400s instead
+  of silently dropping fields.
+* **W302** — every name in ``ReliabilityService.ENDPOINTS`` maps to a
+  route in ``serve/server.py`` (``/v1/<name>`` with ``_`` spelled as
+  ``/``), and every POST route maps back to an endpoint.  Endpoints
+  that are deliberately CLI-only carry ``# wire: local-only``.
+* **W303** — every HTTP route has a row in the endpoint table of
+  ``docs/api.md``, and every ``/v1/...`` path in that table is a real
+  route.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from .base import Finding, SourceFile, dotted_name, has_local_only_marker
+
+W301 = "W301"
+W302 = "W302"
+W303 = "W303"
+
+_DOC_PATH_RE = re.compile(r"/v1/[a-z][a-z0-9/_-]*")
+
+
+def check_request_types(types_path: Path) -> List[Finding]:
+    """W301: every ``*Request`` class has a strict ``from_dict``."""
+
+    source = SourceFile.parse(types_path)
+    findings: List[Finding] = []
+    for node in source.tree.body:
+        if not isinstance(node, ast.ClassDef) or not node.name.endswith("Request"):
+            continue
+        from_dict = next(
+            (
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "from_dict"
+            ),
+            None,
+        )
+        if from_dict is None:
+            finding = source.finding(
+                node,
+                W301,
+                f"request type `{node.name}` has no `from_dict` constructor; "
+                "wire payloads must decode through one strict path",
+            )
+        elif not _calls_reject_unknown_keys(from_dict):
+            finding = source.finding(
+                from_dict,
+                W301,
+                f"`{node.name}.from_dict` never calls `_reject_unknown_keys`; "
+                "unknown payload keys would be silently dropped instead of "
+                "producing a structured 400",
+            )
+        else:
+            finding = None
+        if finding is not None:
+            findings.append(finding)
+    return sorted(findings)
+
+
+def _calls_reject_unknown_keys(function: ast.FunctionDef) -> bool:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if name.rsplit(".", 1)[-1] == "_reject_unknown_keys":
+                return True
+    return False
+
+
+def check_endpoint_routes(service_path: Path, server_path: Path) -> List[Finding]:
+    """W302: ``ENDPOINTS`` and the HTTP routes agree both ways."""
+
+    service = SourceFile.parse(service_path)
+    server = SourceFile.parse(server_path)
+    endpoints = _collect_endpoints(service)
+    post_routes, get_paths = _collect_routes(server)
+    if endpoints is None:
+        return [
+            Finding(
+                path=service.path,
+                line=1,
+                col=0,
+                rule=W302,
+                message="no `ENDPOINTS = (...)` tuple of string constants found",
+            )
+        ]
+    findings: List[Finding] = []
+    routed = set(post_routes) | set(get_paths)
+    for name, node, local_only in endpoints:
+        if local_only:
+            continue
+        expected = "/v1/" + name.replace("_", "/")
+        if expected not in routed:
+            finding = service.finding(
+                node,
+                W302,
+                f"endpoint `{name}` has no HTTP route `{expected}` in "
+                f"{server.path}; add a handler or mark it `# wire: local-only`",
+            )
+            if finding is not None:
+                findings.append(finding)
+    endpoint_names = {name for name, _node, _local in endpoints}
+    for path, node in post_routes.items():
+        if _route_to_name(path) not in endpoint_names:
+            finding = server.finding(
+                node,
+                W302,
+                f"POST route `{path}` has no matching entry in "
+                f"ReliabilityService.ENDPOINTS ({service.path})",
+            )
+            if finding is not None:
+                findings.append(finding)
+    return sorted(findings)
+
+
+def _route_to_name(path: str) -> str:
+    return path[len("/v1/") :].replace("/", "_") if path.startswith("/v1/") else path
+
+
+def _collect_endpoints(
+    source: SourceFile,
+) -> Optional[List[Tuple[str, ast.AST, bool]]]:
+    for node in ast.walk(source.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(target, ast.Name) and target.id == "ENDPOINTS"
+            for target in targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        endpoints: List[Tuple[str, ast.AST, bool]] = []
+        for element in value.elts:
+            if not (
+                isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ):
+                return None
+            local_only = has_local_only_marker(source, element.lineno)
+            endpoints.append((element.value, element, local_only))
+        return endpoints
+    return None
+
+
+def _collect_routes(
+    server: SourceFile,
+) -> Tuple[dict, Set[str]]:
+    post_routes: dict = {}
+    get_paths: Set[str] = set()
+    for node in ast.walk(server.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_post_routes":
+            for child in ast.walk(node):
+                if isinstance(child, ast.Dict):
+                    for key in child.keys:
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                            post_routes[key.value] = key
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if any(
+            isinstance(target, ast.Name) and target.id == "_GET_PATHS"
+            for target in targets
+        ):
+            value = node.value
+            if isinstance(value, (ast.Tuple, ast.List)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        get_paths.add(element.value)
+    return post_routes, get_paths
+
+
+def check_docs_table(server_path: Path, docs_path: Path) -> List[Finding]:
+    """W303: the docs endpoint table and the HTTP routes agree."""
+
+    server = SourceFile.parse(server_path)
+    post_routes, get_paths = _collect_routes(server)
+    http_paths = set(post_routes) | set(get_paths)
+    doc_text = docs_path.read_text(encoding="utf-8")
+    documented: dict = {}
+    for number, line in enumerate(doc_text.splitlines(), start=1):
+        if not line.lstrip().startswith("|"):
+            continue
+        for match in _DOC_PATH_RE.finditer(line):
+            documented.setdefault(match.group(0), number)
+    findings: List[Finding] = []
+    for path in sorted(http_paths - set(documented)):
+        node = post_routes.get(path)
+        findings.append(
+            Finding(
+                path=server.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=W303,
+                message=(
+                    f"HTTP route `{path}` has no row in the endpoint table of "
+                    f"{docs_path}"
+                ),
+            )
+        )
+    for path in sorted(set(documented) - http_paths):
+        findings.append(
+            Finding(
+                path=str(docs_path),
+                line=documented[path],
+                col=0,
+                rule=W303,
+                message=f"documented endpoint `{path}` is not served by {server.path}",
+            )
+        )
+    return sorted(findings)

@@ -170,10 +170,22 @@ class ReliabilityService:
     """
 
     #: Every counted endpoint, fixed so the counter dict never resizes.
+    #: ``repro lint`` (W302/W303) keeps this tuple, the HTTP routes in
+    #: ``serve/server.py``, and the docs/api.md endpoint table in sync;
+    #: ``# wire: local-only`` marks endpoints served by the CLI only.
     ENDPOINTS = (
-        "estimate", "batch", "warm", "update", "shard_run", "topk",
-        "bounds", "study", "recommend",
+        "estimate",
+        "batch",
+        "warm",
+        "update",
+        "shard_run",
+        "topk",
+        "bounds",
+        "study",  # wire: local-only
+        "recommend",
     )
+
+    # lock-order: _update_lock -> _prepare_lock -> _counts_lock -> _pool_lock
 
     def __init__(
         self,
@@ -192,7 +204,7 @@ class ReliabilityService:
                 f"a ReliabilityService wraps an UncertainGraph, "
                 f"got {type(graph).__name__}"
             )
-        self.graph = graph
+        self.graph = graph  # guarded-by: _prepare_lock
         self.seed = int(seed)
         self.dataset = dataset  # a suite Dataset, or None for raw graphs
         self.cache_dir = None if cache_dir is None else str(cache_dir)
@@ -211,7 +223,7 @@ class ReliabilityService:
             )
         self.kernels = kernels
         #: The one shared worker pool (lazily built by :meth:`_engine`).
-        self._pool: Optional[WorkerPool] = None
+        self._pool: Optional[WorkerPool] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
         self._cache: ResultCache = (
             open_result_cache(self.cache_dir, capacity=cache_capacity)
@@ -222,7 +234,9 @@ class ReliabilityService:
         #: lookups read the attribute without locking; inserts (under the
         #: prepare lock) replace the whole dict, never mutate a published
         #: one — so iteration in ``stats()`` can never see a resize.
-        self._estimators: Dict[str, Tuple[Estimator, threading.Lock]] = {}
+        self._estimators: Dict[  # guarded-by: _prepare_lock
+            str, Tuple[Estimator, threading.Lock]
+        ] = {}
         #: Serialises lazy estimator construction (once per method).
         self._prepare_lock = threading.Lock()
         #: Micro-lock making request-counter increments atomic; snapshots
@@ -230,7 +244,7 @@ class ReliabilityService:
         #: concurrent read can never see a dict resize either).
         self._counts_lock = threading.Lock()
         self._started = time.time()
-        self._request_counts: Dict[str, int] = {
+        self._request_counts: Dict[str, int] = {  # guarded-by: _counts_lock
             endpoint: 0 for endpoint in self.ENDPOINTS
         }
         #: Serialises :meth:`update` calls — one version transition at a
@@ -238,11 +252,11 @@ class ReliabilityService:
         self._update_lock = threading.Lock()
         #: Engine-served query keys -> hit counts, feeding :meth:`rewarm`.
         #: Guarded by the counts micro-lock (increments are cheap).
-        self._query_log: Dict[
+        self._query_log: Dict[  # guarded-by: _counts_lock
             Tuple[int, int, int, Optional[int], int], int
         ] = {}
-        self._rewarm_runs = 0
-        self._rewarm_queries = 0
+        self._rewarm_runs = 0  # guarded-by: _counts_lock
+        self._rewarm_queries = 0  # guarded-by: _counts_lock
         #: What every served query measured, bucketed by (fingerprint,
         #: method, K band, hop band) — see :mod:`repro.routing`.
         self.telemetry = QueryTelemetry()
@@ -252,7 +266,7 @@ class ReliabilityService:
         #: be lazily rebuilt): demoted by the router and ``recommend()``
         #: until a per-estimator request forces the rebuild.  Guarded by
         #: the counts micro-lock; read as a snapshot.
-        self._dropped_indexes: set = set()
+        self._dropped_indexes: set = set()  # guarded-by: _counts_lock
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -1354,6 +1368,7 @@ class ReliabilityService:
             "persistent": self.persistent,
             "requests": {
                 endpoint: count
+                # lint: ok[D103] key set is ENDPOINTS, fixed at construction
                 for endpoint, count in self._request_counts.items()
                 if count
             },

@@ -19,6 +19,7 @@ Subcommands:
 * ``bounds``     — polynomial-time lower/upper bracket for a pair
 * ``recommend``  — walk the paper's Fig. 18 decision tree
 * ``study``      — a miniature convergence study (Tables 3-14 shaped)
+* ``lint``       — the AST invariant analyzer (see ``docs/analysis.md``)
 
 All commands are deterministic under ``--seed``.
 """
@@ -271,6 +272,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "recommendation to the engine-served methods that can "
              "honour it",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="static invariant analyzer (determinism, locks, wire contract)",
+    )
+    from repro.analysis.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
 
     study = commands.add_parser(
         "study", help="miniature convergence study on one dataset"
@@ -613,7 +622,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             )
         print(
             "endpoints: POST /v1/estimate, POST /v1/batch, POST /v1/warm, "
-            "POST /v1/update, POST /v1/shard/run, GET|POST /v1/recommend, "
+            "POST /v1/update, POST /v1/topk, POST /v1/bounds, "
+            "POST /v1/shard/run, GET|POST /v1/recommend, "
             "GET /v1/health, GET /v1/stats  (Ctrl-C to stop)",
             flush=True,
         )
@@ -758,6 +768,18 @@ def _command_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the analyzer is tooling, not the serving path, and
+    # the CLI stays a pure facade adapter for everything else.
+    from repro.analysis.cli import run_lint
+
+    return run_lint(
+        paths=args.paths,
+        changed=args.changed,
+        output_format=args.output_format,
+    )
+
+
 _COMMANDS = {
     "estimate": _command_estimate,
     "batch": _command_batch,
@@ -768,6 +790,7 @@ _COMMANDS = {
     "bounds": _command_bounds,
     "recommend": _command_recommend,
     "study": _command_study,
+    "lint": _command_lint,
 }
 
 

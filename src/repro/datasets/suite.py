@@ -16,6 +16,7 @@ probability distribution and s-t distance, which these analogues preserve.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
@@ -221,7 +222,8 @@ DATASET_KEYS: List[str] = [
     "biomine",
 ]
 
-_CACHE: Dict[Tuple[str, str, int], Dataset] = {}
+_CACHE_LOCK = threading.Lock()
+_CACHE: Dict[Tuple[str, str, int], Dataset] = {}  # guarded-by: _CACHE_LOCK
 
 
 def load_dataset(key: str, scale: str = "small", seed: int = 0) -> Dataset:
@@ -237,17 +239,25 @@ def load_dataset(key: str, scale: str = "small", seed: int = 0) -> Dataset:
     if scale not in SCALES:
         raise KeyError(f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
     cache_key = (key, scale, seed)
-    if cache_key not in _CACHE:
-        spec = DATASETS[key]
-        node_count = spec.nodes_by_scale[scale]
-        # zlib.crc32 is stable across processes (unlike hash()), keeping
-        # dataset generation deterministic in (key, scale, seed).
-        family = spec.seed_family or key
-        key_digest = zlib.crc32(family.encode("utf-8")) & 0xFFFF
-        rng = ensure_generator(np.random.SeedSequence((seed, key_digest)))
-        graph = spec.builder(node_count, rng)
-        _CACHE[cache_key] = Dataset(spec=spec, scale=scale, seed=seed, graph=graph)
-    return _CACHE[cache_key]
+    # Build under the lock: two threads racing the same key would each
+    # generate the graph and one instance would silently win, breaking
+    # the "benchmarks share one graph" memoisation contract.  Builds are
+    # deterministic, so holding the lock costs only the losing thread.
+    with _CACHE_LOCK:
+        if cache_key not in _CACHE:
+            spec = DATASETS[key]
+            node_count = spec.nodes_by_scale[scale]
+            # zlib.crc32 is stable across processes (unlike hash()),
+            # keeping dataset generation deterministic in (key, scale,
+            # seed).
+            family = spec.seed_family or key
+            key_digest = zlib.crc32(family.encode("utf-8")) & 0xFFFF
+            rng = ensure_generator(np.random.SeedSequence((seed, key_digest)))
+            graph = spec.builder(node_count, rng)
+            _CACHE[cache_key] = Dataset(
+                spec=spec, scale=scale, seed=seed, graph=graph
+            )
+        return _CACHE[cache_key]
 
 
 def dataset_table(scale: str = "small", seed: int = 0) -> List[Dict[str, str]]:

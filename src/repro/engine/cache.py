@@ -158,9 +158,11 @@ class ResultCache:
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
         self.capacity = check_positive(capacity, "capacity")
-        self._entries: "OrderedDict[ResultKey, float]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._entries: "OrderedDict[ResultKey, float]" = (  # guarded-by: _lock
+            OrderedDict()
+        )
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         #: Guards the LRU, the counters, and (in the persistent subclass)
         #: the SQLite connection.  Plain (non-reentrant) lock: public
         #: methods acquire it exactly once and delegate to ``*_locked``
@@ -308,17 +310,17 @@ class PersistentResultCache(ResultCache):
         self.touch_flush_every = check_positive(
             touch_flush_every, "touch_flush_every"
         )
-        self.disk_hits = 0
-        self._tick = 0
+        self.disk_hits = 0  # guarded-by: _lock
+        self._tick = 0  # guarded-by: _lock
         #: Deferred disk-hit recency updates: key -> latest tick.  A dict
         #: (not a list) so a key hit twice between flushes costs one row.
-        self._pending_touches: Dict[ResultKey, int] = {}
+        self._pending_touches: Dict[ResultKey, int] = {}  # guarded-by: _lock
         #: Upper bound on the sidecar's row count, maintained locally so
         #: eviction does not pay a full-table COUNT per put: +1 per
         #: insert (REPLACEs overcount, which is safe), re-synced with the
         #: true count whenever the bound crosses ``disk_capacity``.
-        self._row_bound = 0
-        self._connection: Optional[sqlite3.Connection] = None
+        self._row_bound = 0  # guarded-by: _lock
+        self._connection: Optional[sqlite3.Connection] = None  # guarded-by: _lock
         self._open()
 
     # ------------------------------------------------------------------
@@ -330,7 +332,7 @@ class PersistentResultCache(ResultCache):
         """Whether persistence has been turned off (memory LRU still works)."""
         return self._connection is None
 
-    def _open(self) -> None:
+    def _open(self) -> None:  # init-only
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
             self._connection = self._connect()
@@ -341,7 +343,7 @@ class PersistentResultCache(ResultCache):
             except sqlite3.Error:
                 self._connection = None
 
-    def _connect(self) -> sqlite3.Connection:
+    def _connect(self) -> sqlite3.Connection:  # init-only
         # check_same_thread=False: the serving layer opens the cache on
         # the main thread and touches it from HTTP handler threads.
         # SQLite connections tolerate cross-thread use as long as calls

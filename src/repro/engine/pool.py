@@ -158,11 +158,11 @@ class WorkerPool:
         self.graph = graph
         self.workers = check_positive(workers, "workers")
         self.fingerprint = graph_fingerprint(graph)
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[ProcessPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._closed = False
-        self._runs = 0
-        self._respawns = 0
+        self._closed = False  # guarded-by: _lock
+        self._runs = 0  # guarded-by: _lock
+        self._respawns = 0  # guarded-by: _lock
 
     # -- lifecycle ------------------------------------------------------
 
@@ -340,7 +340,9 @@ class WorkerPool:
 # The env-driven process-wide registry
 # ----------------------------------------------------------------------
 
-_REGISTRY: "OrderedDict[bytes, WorkerPool]" = OrderedDict()
+_REGISTRY: "OrderedDict[bytes, WorkerPool]" = (  # guarded-by: _REGISTRY_LOCK
+    OrderedDict()
+)
 _REGISTRY_LOCK = threading.Lock()
 
 

@@ -119,9 +119,11 @@ class QueryTelemetry:
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         #: key -> (latency-per-sample accumulator, estimate accumulator).
-        self._buckets: Dict[BucketKey, Tuple[_Accumulator, _Accumulator]] = {}
-        self._observations = 0
-        self._dropped = 0
+        self._buckets: Dict[  # guarded-by: _lock
+            BucketKey, Tuple[_Accumulator, _Accumulator]
+        ] = {}
+        self._observations = 0  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Writes (micro-locked)
@@ -205,10 +207,11 @@ class QueryTelemetry:
         the bucket map itself is too wide to serialise per request.
         """
         methods: Dict[str, Dict[str, float]] = {}
-        # Lock-free iteration is safe: CPython dict iteration over a
-        # concurrently-inserting dict can raise RuntimeError, so iterate
-        # a shallow copy of the items (the values are stable objects).
-        for (key_fp, method, _, _), (latency, _) in list(
+        # Lock-free read: ``sorted`` first materialises a shallow copy
+        # (so concurrent inserts cannot raise mid-iteration), and the
+        # sort pins the float-fold order to the key order — the totals
+        # must not depend on which thread inserted its bucket first.
+        for (key_fp, method, _, _), (latency, _) in sorted(
             self._buckets.items()
         ):
             if fingerprint is not None and key_fp != fingerprint:

@@ -13,6 +13,8 @@ Endpoints (all JSON)::
     POST /v1/batch      BatchRequest     -> BatchResponse
     POST /v1/warm       WarmRequest      -> WarmResponse
     POST /v1/update     UpdateRequest    -> UpdateResponse
+    POST /v1/topk       TopKRequest      -> TopKResponse
+    POST /v1/bounds     BoundsRequest    -> BoundsResponse
     POST /v1/recommend  RecommendRequest -> RecommendResponse
     POST /v1/shard/run  ShardRunRequest  -> ShardRunResponse
     GET  /v1/recommend  default-shape recommendation (query params accepted)
@@ -87,9 +89,11 @@ from repro.api.errors import (
 from repro.api.service import DEFAULT_REWARM_TOP, ReliabilityService
 from repro.api.types import (
     BatchRequest,
+    BoundsRequest,
     EstimateRequest,
     RecommendRequest,
     ShardRunRequest,
+    TopKRequest,
     UpdateRequest,
     WarmRequest,
 )
@@ -323,6 +327,12 @@ class ReliabilityRequestHandler(BaseHTTPRequestHandler):
             ).to_dict(),
             "/v1/warm": lambda payload: service.warm(
                 WarmRequest.from_dict(payload)
+            ).to_dict(),
+            "/v1/topk": lambda payload: service.topk(
+                TopKRequest.from_dict(payload)
+            ).to_dict(),
+            "/v1/bounds": lambda payload: service.bounds(
+                BoundsRequest.from_dict(payload)
             ).to_dict(),
             "/v1/recommend": lambda payload: service.recommend(
                 RecommendRequest.from_dict(payload)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the analyzer self-tests.
+
+Every rule is tested against *fixture files with seeded violations*:
+the test writes a positive fixture (the violation) and a negative one
+(the fixed shape) to disk, runs the real analyzer entry point over the
+file, and asserts the rule fires exactly where seeded — and nowhere on
+the fixed version.
+"""
+
+import textwrap
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis import Finding, analyze_file
+
+
+@pytest.fixture
+def lint(tmp_path: Path):
+    """Write ``code`` to a fixture file and return its findings."""
+
+    def run(code: str, name: str = "fixture.py") -> List[Finding]:
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        return analyze_file(path)
+
+    return run

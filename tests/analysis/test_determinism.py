@@ -1,0 +1,282 @@
+"""Self-tests for the determinism rules (D101-D103).
+
+Each test seeds a violation into a fixture file and asserts the rule
+fires there — then checks the corrected shape stays silent, so the
+rule can never rot into either a dead letter or a noise source.
+"""
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestGlobalRngD101:
+    def test_fires_on_stdlib_random_import(self, lint):
+        findings = lint(
+            """
+            import random
+
+            def pick(values):
+                return random.choice(values)
+            """
+        )
+        assert rules(findings) == ["D101"]
+        assert findings[0].line == 2
+
+    def test_fires_on_from_random_import(self, lint):
+        findings = lint(
+            """
+            from random import shuffle
+
+            def mix(values):
+                shuffle(values)
+            """
+        )
+        assert rules(findings) == ["D101"]
+
+    def test_fires_on_np_random_module_function(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """
+        )
+        assert rules(findings) == ["D101"]
+        assert "np.random.rand" in findings[0].message
+
+    def test_fires_on_from_numpy_random_import(self, lint):
+        findings = lint(
+            """
+            from numpy.random import shuffle
+
+            def mix(values):
+                shuffle(values)
+            """
+        )
+        assert rules(findings) == ["D101"]
+
+    def test_silent_on_generator_construction(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def fresh(seed):
+                sequence = np.random.SeedSequence(seed)
+                return np.random.default_rng(sequence)
+            """
+        )
+        assert findings == []
+
+    def test_exempt_inside_util_rng(self, lint, tmp_path):
+        (tmp_path / "util").mkdir()
+        findings = lint(
+            """
+            import numpy as np
+
+            def legacy(n):
+                return np.random.rand(n)
+            """,
+            name="util/rng.py",
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences(self, lint):
+        findings = lint(
+            """
+            import random  # lint: ok[D101] fixture exercising the analyzer
+
+            def pick(values):
+                return random.choice(values)
+            """
+        )
+        assert findings == []
+
+
+class TestWallClockD102:
+    def test_fires_on_clock_into_cache_key(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def lookup(cache, query):
+                stamp = time.time()
+                return cache.get(make_key(query, stamp))
+
+            def make_key(query, salt):
+                return (query, salt)
+            """
+        )
+        assert rules(findings) == ["D102"]
+
+    def test_fires_on_clock_as_seed_kwarg(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def run(engine):
+                return engine.run(seed=int(time.time()))
+            """
+        )
+        assert rules(findings) == ["D102"]
+
+    def test_fires_on_clock_in_estimate_return(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def estimate_reliability(graph):
+                return {"value": 0.5, "stamp": time.time()}
+            """
+        )
+        assert rules(findings) == ["D102"]
+
+    def test_silent_on_monotonic_telemetry(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def estimate_reliability(graph):
+                started = time.perf_counter()
+                value = graph.sweep()
+                return {"value": value, "seconds": time.perf_counter() - started}
+            """
+        )
+        assert findings == []
+
+    def test_silent_on_clock_into_plain_telemetry_call(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def heartbeat(log):
+                log.append(time.time())
+            """
+        )
+        assert findings == []
+
+
+class TestUnorderedIterationD103:
+    def test_fires_on_set_literal_iteration(self, lint):
+        findings = lint(
+            """
+            def total(extra):
+                out = 0.0
+                for value in {1.0, 2.0, extra}:
+                    out += value
+                return out
+            """
+        )
+        assert rules(findings) == ["D103"]
+
+    def test_fires_on_local_set_comprehension_source(self, lint):
+        findings = lint(
+            """
+            def fold(pairs):
+                seen = set(pairs)
+                return [transform(item) for item in seen]
+
+            def transform(item):
+                return item
+            """
+        )
+        assert rules(findings) == ["D103"]
+
+    def test_sorted_wrapping_is_silent(self, lint):
+        findings = lint(
+            """
+            def total(extra):
+                out = 0.0
+                for value in sorted({1.0, 2.0, extra}):
+                    out += value
+                return tuple(sorted({1, 2}))
+            """
+        )
+        assert findings == []
+
+    def test_fires_on_lock_free_guarded_dict_iteration(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Telemetry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._buckets = {}  # guarded-by: _lock
+
+                def record(self, key, value):
+                    with self._lock:
+                        self._buckets[key] = value
+
+                def snapshot(self):
+                    total = 0.0
+                    for _key, value in self._buckets.items():
+                        total += value
+                    return total
+            """
+        )
+        assert rules(findings) == ["D103"]
+        assert "_buckets" in findings[0].message
+
+    def test_guarded_iteration_under_lock_is_silent(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Telemetry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._buckets = {}  # guarded-by: _lock
+
+                def record(self, key, value):
+                    with self._lock:
+                        self._buckets[key] = value
+
+                def snapshot(self):
+                    with self._lock:
+                        return {key: value for key, value in self._buckets.items()}
+            """
+        )
+        assert findings == []
+
+    def test_sorted_lock_free_iteration_is_silent(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Telemetry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._buckets = {}  # guarded-by: _lock
+
+                def record(self, key, value):
+                    with self._lock:
+                        self._buckets[key] = value
+
+                def snapshot(self):
+                    total = 0.0
+                    for _key, value in sorted(self._buckets.items()):
+                        total += value
+                    return total
+            """
+        )
+        assert findings == []
+
+    def test_fires_on_unsorted_set_attribute_iteration(self, lint):
+        findings = lint(
+            """
+            class Tracker:
+                def __init__(self):
+                    self._dropped = set()
+
+                def drop(self, index):
+                    self._dropped.add(index)
+
+                def snapshot(self):
+                    return [index for index in self._dropped]
+            """
+        )
+        assert rules(findings) == ["D103"]

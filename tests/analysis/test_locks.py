@@ -1,0 +1,285 @@
+"""Self-tests for the lock-discipline rules (L201-L203)."""
+
+import textwrap
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+GUARDED_CLASS_HEADER = '''\
+import threading
+
+
+class Service:
+    # lock-order: _prepare_lock -> _counts_lock -> _pool_lock
+
+    def __init__(self):
+        self._prepare_lock = threading.Lock()
+        self._counts_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._estimators = {}  # guarded-by: _prepare_lock
+        self._counts = 0  # guarded-by: _counts_lock
+        self._pool = None  # guarded-by: _pool_lock
+'''
+
+
+def service_class(methods: str) -> str:
+    body = textwrap.dedent(methods).strip("\n")
+    return GUARDED_CLASS_HEADER + "\n" + textwrap.indent(body, "    ") + "\n"
+
+
+class TestUnguardedWriteL201:
+    def test_fires_on_unlocked_assignment(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def reset(self):
+                    self._counts = 0
+                """
+            )
+        )
+        assert rules(findings) == ["L201"]
+        assert "_counts_lock" in findings[0].message
+
+    def test_fires_on_unlocked_item_write_and_mutation(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def publish(self, method, entry):
+                    self._estimators[method] = entry
+                    self._estimators.update({method: entry})
+                """
+            )
+        )
+        assert rules(findings) == ["L201", "L201"]
+
+    def test_fires_on_write_under_wrong_lock(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def wrong(self):
+                    with self._pool_lock:
+                        self._counts = 1
+                """
+            )
+        )
+        assert rules(findings) == ["L201"]
+
+    def test_silent_on_locked_writes(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def bump(self):
+                    with self._counts_lock:
+                        self._counts += 1
+
+                def swap(self):
+                    with self._pool_lock:
+                        stale, self._pool = self._pool, None
+                    return stale
+                """
+            )
+        )
+        assert findings == []
+
+    def test_tuple_target_write_is_detected(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def swap(self):
+                    stale, self._pool = self._pool, None
+                    return stale
+                """
+            )
+        )
+        assert rules(findings) == ["L201"]
+
+    def test_init_and_init_only_methods_are_exempt(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def _bootstrap(self):  # init-only
+                    self._pool = object()
+                """
+            )
+        )
+        assert findings == []
+
+    def test_holds_annotation_exempts_internal_method(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def _bump_held(self):  # holds: _counts_lock
+                    self._counts += 1
+                """
+            )
+        )
+        assert findings == []
+
+    def test_locked_suffix_holds_the_single_lock(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}  # guarded-by: _lock
+                    self.hits = 0  # guarded-by: _lock
+
+                def get(self, key):
+                    with self._lock:
+                        return self._get_locked(key)
+
+                def _get_locked(self, key):
+                    self.hits += 1
+                    return self._entries.get(key)
+            """
+        )
+        assert findings == []
+
+    def test_module_global_write_requires_module_lock(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            _CACHE_LOCK = threading.Lock()
+            _CACHE = {}  # guarded-by: _CACHE_LOCK
+
+
+            def load_bad(key):
+                if key not in _CACHE:
+                    _CACHE[key] = object()
+                return _CACHE[key]
+
+
+            def load_good(key):
+                with _CACHE_LOCK:
+                    if key not in _CACHE:
+                        _CACHE[key] = object()
+                    return _CACHE[key]
+            """
+        )
+        assert rules(findings) == ["L201"]
+        assert findings[0].message.count("load_bad") == 1
+
+
+class TestLockOrderL202:
+    def test_fires_on_inverted_nesting(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def inverted(self):
+                    with self._pool_lock:
+                        with self._prepare_lock:
+                            pass
+                """
+            )
+        )
+        assert rules(findings) == ["L202"]
+        assert "_prepare_lock" in findings[0].message
+
+    def test_silent_on_declared_nesting(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def nested(self):
+                    with self._prepare_lock:
+                        with self._counts_lock:
+                            with self._pool_lock:
+                                pass
+                """
+            )
+        )
+        assert findings == []
+
+    def test_undeclared_locks_are_ignored(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def other(self, resource):
+                    with resource.lock:
+                        with self._counts_lock:
+                            pass
+                """
+            )
+        )
+        assert findings == []
+
+
+class TestAnnotationGapL203:
+    def test_fires_on_unannotated_locked_write(self, lint):
+        findings = lint(
+            service_class(
+                """
+                def close(self):
+                    with self._pool_lock:
+                        self._closed = True
+                """
+            )
+        )
+        assert rules(findings) == ["L203"]
+        assert "_closed" in findings[0].message
+
+    def test_silent_once_annotated(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._runs = 0  # guarded-by: _lock
+                    self._closed = False  # guarded-by: _lock
+
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+            """
+        )
+        assert findings == []
+
+    def test_unaudited_classes_are_skipped(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Legacy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._value += 1
+            """
+        )
+        assert findings == []
+
+    def test_subclass_inherits_guarded_annotations(self, lint):
+        findings = lint(
+            """
+            import threading
+
+
+            class Base:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = 0  # guarded-by: _lock
+
+
+            class Derived(Base):
+                def bump_bad(self):
+                    self.hits += 1
+
+                def bump_good(self):
+                    with self._lock:
+                        self.hits += 1
+            """
+        )
+        assert rules(findings) == ["L201"]
+        assert "bump_bad" in findings[0].message

@@ -1,0 +1,172 @@
+"""Self-tests for the wire-contract rules (W301-W303).
+
+Each check runs against a miniature service/server/docs triple written
+to disk, seeded with exactly one drift at a time.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.wire import (
+    check_docs_table,
+    check_endpoint_routes,
+    check_request_types,
+)
+
+TYPES_OK = """
+    class EstimateRequest:
+        _KEYS = ("source", "target")
+
+        @classmethod
+        def from_dict(cls, payload):
+            _reject_unknown_keys(payload, cls._KEYS)
+            return cls()
+
+
+    class EstimateResponse:
+        pass
+
+
+    def _reject_unknown_keys(payload, keys):
+        unknown = sorted(set(payload) - set(keys))
+        if unknown:
+            raise ValueError(unknown)
+"""
+
+TYPES_MISSING_FROM_DICT = """
+    class WarmRequest:
+        pass
+"""
+
+TYPES_LOOSE_FROM_DICT = """
+    class WarmRequest:
+        @classmethod
+        def from_dict(cls, payload):
+            return cls(**payload)
+"""
+
+SERVICE = """
+    class ReliabilityService:
+        ENDPOINTS = (
+            "estimate",
+            "shard_run",
+            "study",  # wire: local-only
+        )
+"""
+
+SERVER = """
+    _GET_PATHS = ("/v1/health", "/v1/stats")
+
+
+    class Handler:
+        def _post_routes(self):
+            return {
+                "/v1/estimate": self._handle_estimate,
+                "/v1/shard/run": self._handle_shard_run,
+            }
+"""
+
+DOCS = """
+    | endpoint | returns |
+    |----------|---------|
+    | `POST /v1/estimate` | `EstimateResponse` |
+    | `POST /v1/shard/run` | `ShardRunResponse` |
+    | `GET /v1/health` | liveness |
+    | `GET /v1/stats` | counters |
+"""
+
+
+@pytest.fixture
+def write(tmp_path):
+    def put(name, content):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+        return path
+
+    return put
+
+
+class TestStrictFromDictW301:
+    def test_silent_on_strict_request_types(self, write):
+        assert check_request_types(write("types.py", TYPES_OK)) == []
+
+    def test_fires_on_missing_from_dict(self, write):
+        findings = check_request_types(
+            write("types.py", TYPES_MISSING_FROM_DICT)
+        )
+        assert [finding.rule for finding in findings] == ["W301"]
+        assert "no `from_dict`" in findings[0].message
+
+    def test_fires_on_from_dict_without_rejection(self, write):
+        findings = check_request_types(write("types.py", TYPES_LOOSE_FROM_DICT))
+        assert [finding.rule for finding in findings] == ["W301"]
+        assert "_reject_unknown_keys" in findings[0].message
+
+    def test_response_types_are_not_required_to_decode(self, write):
+        findings = check_request_types(write("types.py", TYPES_OK))
+        assert findings == []
+
+
+class TestEndpointRoutesW302:
+    def test_silent_when_endpoints_and_routes_agree(self, write):
+        service = write("service.py", SERVICE)
+        server = write("server.py", SERVER)
+        assert check_endpoint_routes(service, server) == []
+
+    def test_fires_on_endpoint_without_route(self, write):
+        service = write(
+            "service.py",
+            SERVICE.replace('"shard_run",', '"shard_run",\n        "topk",'),
+        )
+        server = write("server.py", SERVER)
+        findings = check_endpoint_routes(service, server)
+        assert [finding.rule for finding in findings] == ["W302"]
+        assert "/v1/topk" in findings[0].message
+
+    def test_local_only_marker_exempts_endpoint(self, write):
+        # `study` carries the marker in SERVICE: no route, yet silent.
+        service = write("service.py", SERVICE)
+        server = write("server.py", SERVER)
+        assert check_endpoint_routes(service, server) == []
+
+    def test_fires_on_route_without_endpoint(self, write):
+        service = write("service.py", SERVICE)
+        server = write(
+            "server.py",
+            SERVER.replace(
+                '"/v1/estimate": self._handle_estimate,',
+                '"/v1/estimate": self._handle_estimate,\n'
+                '                "/v1/extra": self._handle_extra,',
+            ),
+        )
+        findings = check_endpoint_routes(service, server)
+        assert [finding.rule for finding in findings] == ["W302"]
+        assert "/v1/extra" in findings[0].message
+
+
+class TestDocsTableW303:
+    def test_silent_when_docs_match_routes(self, write):
+        server = write("server.py", SERVER)
+        docs = write("api.md", DOCS)
+        assert check_docs_table(server, docs) == []
+
+    def test_fires_on_undocumented_route(self, write):
+        server = write("server.py", SERVER)
+        docs = write(
+            "api.md",
+            DOCS.replace("| `POST /v1/shard/run` | `ShardRunResponse` |\n", ""),
+        )
+        findings = check_docs_table(server, docs)
+        assert [finding.rule for finding in findings] == ["W303"]
+        assert "/v1/shard/run" in findings[0].message
+
+    def test_fires_on_documented_ghost_endpoint(self, write):
+        server = write("server.py", SERVER)
+        docs = write(
+            "api.md",
+            DOCS + "| `POST /v1/ghost` | `GhostResponse` |\n",
+        )
+        findings = check_docs_table(server, docs)
+        assert [finding.rule for finding in findings] == ["W303"]
+        assert "/v1/ghost" in findings[0].message

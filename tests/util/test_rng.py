@@ -1,5 +1,12 @@
 """Tests for RNG plumbing: determinism, independence, distributions."""
 
+import itertools
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -75,6 +82,72 @@ class TestStableSubstream:
         a = stable_substream(9, 1, 2).random(4)
         b = stable_substream(9, 2, 1).random(4)
         assert not np.array_equal(a, b)
+
+
+class TestSubstreamDerivation:
+    """The property the determinism lint (``repro lint``) assumes: any
+    two distinct ``(seed, index)`` pairs derive distinct substreams, so
+    per-request seeding never needs interpreter-global RNG state."""
+
+    def test_distinct_seed_index_pairs_give_distinct_streams(self):
+        pairs = list(itertools.product(range(4), range(8)))
+        draws = {
+            pair: tuple(stable_substream(pair[0], pair[1]).random(4))
+            for pair in pairs
+        }
+        assert len(set(draws.values())) == len(pairs)
+
+    def test_substream_does_not_collide_with_root(self):
+        root = ensure_generator(11).random(4)
+        derived = stable_substream(11, 0).random(4)
+        assert not np.array_equal(root, derived)
+
+    def test_nested_and_flat_keys_are_distinct_streams(self):
+        flat = stable_substream(3, 12).random(4)
+        nested = stable_substream(3, 1, 2).random(4)
+        assert not np.array_equal(flat, nested)
+
+    def test_derivation_is_entropy_based_not_hash_based(self):
+        # numpy's spawn-key mechanism, not Python's salted hash():
+        # the same (seed, keys) must name the same stream in every
+        # process, or worker fan-out would not be bit-identical.
+        sequence = np.random.SeedSequence(entropy=21, spawn_key=(5, 7))
+        expected = np.random.default_rng(sequence).random(4)
+        actual = stable_substream(21, 5, 7).random(4)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_stable_across_processes(self):
+        # A fresh interpreter (fresh hash salt, fresh import order) must
+        # derive bit-identical substreams — the cross-process half of
+        # the serial == parallel == distributed contract.
+        script = (
+            "import json, sys\n"
+            "from repro.util.rng import stable_substream\n"
+            "draws = {\n"
+            "    f'{seed}:{index}': stable_substream(seed, index).random(3).tolist()\n"
+            "    for seed in (0, 7) for index in (0, 3)\n"
+            "}\n"
+            "json.dump(draws, sys.stdout)\n"
+        )
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir)] + [p for p in [env.get("PYTHONPATH")] if p]
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+            check=True,
+        )
+        remote = json.loads(result.stdout)
+        for key, values in remote.items():
+            seed, index = (int(part) for part in key.split(":"))
+            np.testing.assert_array_equal(
+                np.asarray(values), stable_substream(seed, index).random(3)
+            )
 
 
 class TestGeometricSkips:
